@@ -1,0 +1,63 @@
+"""Benchmark fixtures.
+
+The campaign dataset is built once (then disk-cached under ``.cache/``)
+at 1/167 of Tranco scale by default; every benchmark times its *analysis*
+against that dataset and emits a paper-vs-measured comparison under
+``bench_results/``.
+
+Environment knobs: ``REPRO_POPULATION`` (default 6000), ``REPRO_DAY_STEP``
+(default 7).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.scanner import load_or_run_campaign
+from repro.simnet import SimConfig, World
+
+BENCH_POPULATION = int(os.environ.get("REPRO_POPULATION", "6000"))
+BENCH_DAY_STEP = int(os.environ.get("REPRO_DAY_STEP", "7"))
+CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".cache")
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SimConfig:
+    return SimConfig(population=BENCH_POPULATION)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_config):
+    return load_or_run_campaign(bench_config, day_step=BENCH_DAY_STEP, cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def bench_world(bench_config):
+    """A fresh world for benchmarks that query live (browser testbed uses
+    its own isolated environment instead)."""
+    return World(bench_config)
+
+
+@pytest.fixture()
+def report(request):
+    """Write a rendered comparison to bench_results/<test>.txt and echo it."""
+
+    def _write(text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print("\n" + text)
+
+    return _write
+
+
+def scale_note(config: SimConfig) -> str:
+    return (
+        f"simulated population {config.population} (Tranco 1M scaled "
+        f"1/{round(1_000_000 / config.population)}); absolute counts scale accordingly"
+    )

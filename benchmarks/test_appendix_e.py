@@ -1,0 +1,39 @@
+"""Appendix E — the parameter-oddity census: named misconfigurations the
+paper calls out individually."""
+
+from repro.analysis import appendix
+from repro.reporting import render_table
+from repro.simnet import timeline
+
+
+def test_appendix_e_census(bench_dataset, benchmark, report):
+    result = benchmark(appendix.census, bench_dataset)
+    first_quic = appendix.google_quic_first_seen(bench_dataset)
+    geo = appendix.nexuspipe_port_scheme(bench_dataset)
+
+    rows = [
+        ("AliasMode '0 .' (no true alias)", "newlinesmag.com + 21", ", ".join(result.alias_self_domains[:4]) or "-"),
+        ("IP-literal TargetName", "unze.com.pk, idaillinois.org, pokemon-arena.net", ", ".join(result.ip_target_domains[:4]) or "-"),
+        ("URL TargetName", "gachoiphungluan.com", ", ".join(result.url_target_domains[:2]) or "-"),
+        ("multi-priority geo-routing", "14 domains, priorities 1-12 + ports", ", ".join(sorted(geo)) or "-"),
+        ("odd single priorities", "host-ir.com=443, pionerfm.ru=1800",
+         ", ".join(f"{k}={v}" for k, v in sorted(result.odd_single_priority_domains.items())) or "-"),
+        ("draft h3-27/29 after May 31", "gentoo.org", ", ".join(result.draft_h3_domains[:3]) or "-"),
+        ("HTTP/1.1-only", "6 domains (jpberlin.de etc.)", ", ".join(result.http11_only_domains[:3]) or "-"),
+        ("Google-QUIC first seen", "2024-02-11", str(first_quic)),
+    ]
+    report(render_table("Appendix E: parameter oddities", ["oddity", "paper", "measured"], rows))
+
+    assert "newlinesmag.com" in result.alias_self_domains
+    assert {"unze.com.pk", "idaillinois.org", "pokemon-arena.net"} <= set(result.ip_target_domains)
+    assert "gachoiphungluan.com" in result.url_target_domains
+    assert result.odd_single_priority_domains.get("host-ir.com") == 443
+    assert result.odd_single_priority_domains.get("pionerfm.ru") == 1800
+    assert "gentoo.org" in result.draft_h3_domains
+    assert "mailhost-berlin.de" in result.http11_only_domains
+    assert geo, "the geo-routing multi-priority domains must surface"
+    pairs = next(iter(geo.values()))
+    assert [prio for prio, _port in pairs] == list(range(1, 13))
+    ports = [port for _prio, port in pairs]
+    assert len(set(ports)) == len(ports), "each priority maps to its own port"
+    assert first_quic is not None and first_quic >= timeline.GOOGLE_QUIC_APPEARANCE

@@ -1,0 +1,25 @@
+"""Figure 10 — daily count of domains with HTTPS records on
+non-Cloudflare name servers."""
+
+from conftest import scale_note
+
+from repro.analysis import nameservers
+from repro.reporting import render_series
+
+
+def test_fig10_noncf_domains(bench_dataset, bench_config, benchmark, report):
+    points = benchmark(nameservers.fig10_noncf_domain_counts, bench_dataset)
+    report(
+        render_series(
+            "Figure 10: # apex domains with HTTPS RR on non-Cloudflare NS "
+            "(paper: few hundred, slowly rising)",
+            [(day, float(count)) for day, count in points],
+            unit="",
+        )
+        + "\n  " + scale_note(bench_config)
+    )
+
+    counts = [count for _day, count in points]
+    assert all(count >= 1 for count in counts)
+    half = len(counts) // 2
+    assert sum(counts[half:]) / (len(counts) - half) >= sum(counts[:half]) / half * 0.9

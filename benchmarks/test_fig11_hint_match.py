@@ -1,0 +1,40 @@
+"""Figure 11 — IP-hint utilization and consistency with A/AAAA records."""
+
+from repro.analysis import hints
+from repro.reporting import render_comparison, render_series
+from repro.simnet import timeline
+
+
+def test_fig11_hint_match(bench_dataset, benchmark, report):
+    apex_points = benchmark(hints.fig11_hint_series, bench_dataset)
+    www_points = hints.fig11_hint_series(bench_dataset, kind="www")
+
+    last = apex_points[-1]
+    before = [p.ipv4_match_pct for p in apex_points if p.date < timeline.HINT_SYNC_FIX]
+    after = [p.ipv4_match_pct for p in apex_points if p.date >= timeline.HINT_SYNC_FIX]
+    before_mean = sum(before) / len(before)
+    after_mean = sum(after) / len(after)
+
+    report(
+        "\n\n".join(
+            [
+                render_comparison(
+                    "Figure 11: IP-hint utilization and A/AAAA consistency",
+                    [
+                        ("ipv4hint utilization (apex)", ">97%", f"{last.ipv4_usage_pct:.2f}%"),
+                        ("ipv6hint utilization (apex)", "~87%", f"{last.ipv6_usage_pct:.2f}%"),
+                        ("ipv4 match before Jun 19", "~98%", f"{before_mean:.2f}%"),
+                        ("ipv4 match after Jun 19", ">99.8%", f"{after_mean:.2f}%"),
+                        ("www ipv4 utilization", "~97%", f"{www_points[-1].ipv4_usage_pct:.2f}%"),
+                    ],
+                ),
+                render_series("ipv4hint match % (apex)", [(p.date, p.ipv4_match_pct) for p in apex_points]),
+            ]
+        )
+        + "\n  note: the 5 persistent cf-ns mismatch domains weigh ~0.4% at 1/167 scale "
+        "(0.002% at full scale), so the post-fix ceiling sits below the paper's 99.8%"
+    )
+
+    assert last.ipv4_usage_pct > 90.0
+    assert last.ipv6_usage_pct > 75.0
+    assert after_mean > before_mean, "the June 19 sync fix must be visible"

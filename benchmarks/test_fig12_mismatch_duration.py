@@ -1,0 +1,50 @@
+"""Figure 12 — duration of IP-hint/A mismatches (from June 19, 2023)."""
+
+from collections import Counter
+
+from repro.analysis import hints
+from repro.reporting import render_comparison, render_histogram
+
+
+def test_fig12_mismatch_duration(bench_dataset, benchmark, report):
+    result = benchmark(hints.fig12_mismatch_durations, bench_dataset)
+    www = hints.fig12_mismatch_durations(bench_dataset, kind="www")
+
+    buckets = Counter()
+    for duration in result.durations:
+        if duration <= 7:
+            buckets["<=1 week"] += 1
+        elif duration <= 30:
+            buckets["<=1 month"] += 1
+        elif duration <= 120:
+            buckets["<=4 months"] += 1
+        else:
+            buckets["whole period"] += 1
+
+    report(
+        "\n\n".join(
+            [
+                render_comparison(
+                    "Figure 12: mismatch durations",
+                    [
+                        ("apex domains with mismatch", "482 (full scale)", result.domains_with_mismatch),
+                        ("persistent apex domains", "4 + cf-ns specials", len(result.persistent_domains)),
+                        ("persistent names include", "cf-ns.com/.net, *.cn", ", ".join(result.persistent_domains[:5])),
+                        ("www domains with mismatch", "4,508 (full scale)", www.domains_with_mismatch),
+                    ],
+                ),
+                render_histogram(
+                    "episode durations (days; sampled-day resolution)",
+                    sorted(buckets.items()),
+                ),
+            ]
+        )
+    )
+
+    assert result.domains_with_mismatch >= 5
+    assert {"cf-ns.com", "cf-ns.net", "canva-apps.cn", "cloudflare-cn.com", "polestar.cn"} <= set(
+        result.persistent_domains
+    )
+    # Most non-persistent episodes are short (the paper: a few days).
+    short = sum(1 for d in result.durations if d <= 30)
+    assert short >= len(result.durations) - len(result.persistent_domains) - 2

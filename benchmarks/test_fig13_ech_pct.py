@@ -1,0 +1,36 @@
+"""Figure 13 — share of HTTPS-publishing domains with the ech SvcParam,
+including the October 5 global disable."""
+
+from repro.analysis import ech_analysis
+from repro.reporting import render_comparison, render_series
+from repro.simnet import timeline
+
+
+def test_fig13_ech_share(bench_dataset, benchmark, report):
+    points = benchmark(ech_analysis.fig13_ech_share, bench_dataset)
+    www_points = ech_analysis.fig13_ech_share(bench_dataset, kind="www")
+    event = ech_analysis.detect_disable_event(bench_dataset)
+
+    report(
+        "\n\n".join(
+            [
+                render_comparison(
+                    "Figure 13: ECH share of HTTPS domains",
+                    [
+                        ("apex share before Oct 5", "~70%", f"{event.pre_disable_mean_pct:.1f}%"),
+                        (
+                            "www share before Oct 5",
+                            "~63%",
+                            f"{sum(v for d, v in www_points if d < timeline.ECH_DISABLE) / max(1, len([1 for d, _v in www_points if d < timeline.ECH_DISABLE])):.1f}%",
+                        ),
+                        ("share after Oct 5", "0% (test domains excluded)", f"{event.post_disable_max_pct:.2f}%"),
+                        ("disable cliff lands", "2023-10-05", str(event.first_day_without)),
+                    ],
+                ),
+                render_series("apex ECH %", points),
+            ]
+        )
+    )
+
+    assert event.matches_paper
+    assert 55.0 <= event.pre_disable_mean_pct <= 80.0

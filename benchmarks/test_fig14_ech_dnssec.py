@@ -1,0 +1,30 @@
+"""Figure 14 / §4.5.2 — DNSSEC protection of ECH-bearing HTTPS records."""
+
+from repro.analysis import dnssec_analysis, ech_analysis
+from repro.reporting import render_comparison, render_series
+from repro.simnet import timeline
+
+
+def test_fig14_ech_dnssec(bench_dataset, benchmark, report):
+    points = benchmark(ech_analysis.fig14_signed_ech_share, bench_dataset)
+    signed_mean, validated_mean = dnssec_analysis.ech_dnssec_overlap(bench_dataset)
+
+    pre = [(d, s) for d, s, _v in points if d < timeline.ECH_DISABLE]
+    report(
+        "\n\n".join(
+            [
+                render_comparison(
+                    "Figure 14: signed share among ECH-bearing HTTPS records",
+                    [
+                        ("signed share before Oct 5", "<6%", f"{signed_mean:.2f}%"),
+                        ("validated share", "~half of signed", f"{validated_mean:.2f}%"),
+                    ],
+                ),
+                render_series("signed % among ECH domains", pre),
+            ]
+        )
+    )
+
+    assert signed_mean < 12.0
+    assert validated_mean <= signed_mean
+    assert validated_mean >= signed_mean * 0.2, "roughly half of signed validates"

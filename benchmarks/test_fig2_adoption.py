@@ -1,0 +1,38 @@
+"""Figure 2 — HTTPS RR adoption rates over time (dynamic vs overlapping,
+apex vs www)."""
+
+from repro.analysis import adoption
+from repro.reporting import render_comparison, render_series
+
+
+def test_fig2_adoption(bench_dataset, benchmark, report):
+    dynamic = benchmark(adoption.dynamic_adoption, bench_dataset)
+    overlapping = adoption.overlapping_adoption(bench_dataset)
+    summary = adoption.summarize(bench_dataset)
+
+    text = "\n\n".join(
+        [
+            render_comparison(
+                "Figure 2: HTTPS RR adoption",
+                [
+                    ("band of all rates", "20-27%", f"{summary.dynamic_apex_start:.1f}-{summary.dynamic_apex_end:.1f}%"),
+                    ("dynamic apex trend", "rising", "rising" if summary.dynamic_rising else "NOT rising"),
+                    (
+                        "overlapping apex trend",
+                        "stable/declining",
+                        "stable/declining" if summary.overlapping_stable_or_declining else "rising",
+                    ),
+                    ("overlapping apex mean (phase 2)", "~23%", f"{summary.overlapping_apex_mean_phase2:.1f}%"),
+                ],
+            ),
+            render_series("Fig 2a: dynamic apex %", dynamic["apex"].points),
+            render_series("Fig 2a: dynamic www %", dynamic["www"].points),
+            render_series("Fig 2b: overlapping apex %", overlapping["apex"].points),
+            render_series("Fig 2b: overlapping www %", overlapping["www"].points),
+        ]
+    )
+    report(text)
+
+    assert summary.in_paper_band
+    assert summary.dynamic_rising
+    assert summary.overlapping_stable_or_declining

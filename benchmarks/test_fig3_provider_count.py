@@ -1,0 +1,26 @@
+"""Figure 3 — daily number of distinct non-Cloudflare DNS providers with
+HTTPS-publishing customer domains."""
+
+from conftest import scale_note
+
+from repro.analysis import nameservers
+from repro.reporting import render_series
+
+
+def test_fig3_provider_count(bench_dataset, bench_config, benchmark, report):
+    points = benchmark(nameservers.fig3_noncf_provider_counts, bench_dataset)
+    total = nameservers.distinct_noncf_provider_count(bench_dataset)
+    report(
+        render_series(
+            "Figure 3: # distinct non-Cloudflare providers (paper: 55-85 daily, rising; 244 total)",
+            [(day, float(count)) for day, count in points],
+            unit="",
+        )
+        + f"\n  total distinct over window: {total}\n  " + scale_note(bench_config)
+    )
+
+    counts = [count for _day, count in points]
+    assert all(count >= 3 for count in counts)
+    # Upward trajectory: the late-window mean exceeds the early-window mean.
+    half = len(counts) // 2
+    assert sum(counts[half:]) / (len(counts) - half) >= sum(counts[:half]) / half

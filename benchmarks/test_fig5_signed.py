@@ -1,0 +1,47 @@
+"""Figure 5 — share of HTTPS records that are signed (RRSIG) and that
+validate (AD bit)."""
+
+from repro.analysis import dnssec_analysis
+from repro.reporting import render_comparison, render_series
+
+
+def test_fig5_signed(bench_dataset, benchmark, report):
+    dynamic = benchmark(dnssec_analysis.fig5_signed_series, bench_dataset)
+    overlapping = dnssec_analysis.fig5_signed_series(bench_dataset, overlapping_only=True)
+
+    dyn_first, dyn_last = dynamic[0], dynamic[-1]
+    ovl_first, ovl_last = overlapping[0], overlapping[-1]
+
+    report(
+        "\n\n".join(
+            [
+                render_comparison(
+                    "Figure 5: signed / validated HTTPS records",
+                    [
+                        ("signed share band", "<10%", f"{dyn_last.signed_pct:.2f}%"),
+                        ("validated ≪ signed", "~half", f"{dyn_last.validated_pct:.2f}%"),
+                        (
+                            "dynamic trend",
+                            "decreasing",
+                            f"{dyn_first.signed_pct:.2f}% -> {dyn_last.signed_pct:.2f}%",
+                        ),
+                        (
+                            "overlapping trend",
+                            "increasing",
+                            f"{ovl_first.signed_pct:.2f}% -> {ovl_last.signed_pct:.2f}%",
+                        ),
+                    ],
+                ),
+                render_series("dynamic signed %", [(p.date, p.signed_pct) for p in dynamic]),
+                render_series(
+                    "overlapping signed %", [(p.date, p.signed_pct) for p in overlapping]
+                ),
+            ]
+        )
+    )
+
+    assert all(p.signed_pct < 12.0 for p in dynamic)
+    assert all(p.validated_pct <= p.signed_pct for p in dynamic)
+    # Opposite trends between the two populations (§4.5.1).
+    assert ovl_last.signed_pct >= ovl_first.signed_pct
+    assert dyn_last.signed_pct <= dyn_first.signed_pct + 1.0

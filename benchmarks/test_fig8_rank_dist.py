@@ -1,0 +1,24 @@
+"""Figure 8 — Tranco rank distributions: overlapping vs non-overlapping
+domains (phase 1)."""
+
+from repro.analysis import tranco
+from repro.reporting import render_comparison
+
+
+def test_fig8_rank_dist(bench_dataset, benchmark, report):
+    dist = benchmark(tranco.fig8_rank_distributions, bench_dataset)
+
+    report(
+        render_comparison(
+            "Figure 8: mean phase-1 rank by overlap status",
+            [
+                ("overlapping median rank", "higher-ranked (smaller)", f"{dist.overlapping_median():.0f}"),
+                ("non-overlapping median rank", "lower-ranked (larger)", f"{dist.non_overlapping_median():.0f}"),
+                ("overlapping count", "634,810 (full scale)", len(dist.overlapping_ranks)),
+                ("non-overlapping count", "-", len(dist.non_overlapping_ranks)),
+            ],
+        )
+    )
+
+    assert dist.overlapping_median() < dist.non_overlapping_median()
+    assert len(dist.overlapping_ranks) > len(dist.non_overlapping_ranks) * 0.5

@@ -1,0 +1,31 @@
+"""§4.3.5 — connectivity of domains with mismatched IP hints (TLS probes,
+Jan 24 – Mar 31, 2024)."""
+
+from conftest import scale_note
+
+from repro.analysis import hints
+from repro.reporting import render_comparison
+
+
+def test_sec435_connectivity(bench_dataset, bench_config, benchmark, report):
+    result = benchmark(hints.connectivity_report, bench_dataset)
+
+    report(
+        render_comparison(
+            "§4.3.5: TLS reachability of mismatched domains",
+            [
+                ("mismatch occurrences (domain-days)", "1,022 (full scale)", result.occurrences),
+                ("distinct domains", "317 (full scale)", result.distinct_domains),
+                ("domains with unreachable address", "193", result.domains_with_unreachable),
+                ("reachable only via IP hints", "117", result.hint_only_reachable),
+                ("reachable only via A record", "59", result.a_only_reachable),
+                ("unreachable both ways", "17", result.neither_reachable),
+            ],
+        )
+        + "\n  " + scale_note(bench_config)
+    )
+
+    assert result.occurrences >= result.distinct_domains >= 3
+    assert result.domains_with_unreachable >= 1
+    # Shape: hint-only-reachable outnumbers A-only-reachable (117 vs 59).
+    assert result.hint_only_reachable >= result.a_only_reachable

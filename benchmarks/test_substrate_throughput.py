@@ -1,0 +1,56 @@
+"""Substrate micro-benchmarks (not a paper artifact): wire codec,
+resolution, and signing throughput — the knobs that bound campaign
+runtime, for the ablation discussion in DESIGN.md."""
+
+from repro.dnscore import Message, Name, rdtypes
+from repro.dnscore.rrset import RRset
+from repro.dnssec.keys import ZoneKey
+from repro.dnssec.signing import sign_rrset
+
+
+def make_response():
+    msg = Message(1)
+    msg.is_response = True
+    msg.answers.append(
+        RRset.from_text(
+            "example.com.", 300, "HTTPS",
+            "1 . alpn=h2,h3 ipv4hint=104.16.1.1 ipv6hint=2606:4700::1",
+        )
+    )
+    msg.answers.append(RRset.from_text("example.com.", 300, "A", "104.16.1.1"))
+    return msg
+
+
+def test_message_wire_round_trip_throughput(benchmark):
+    msg = make_response()
+    def round_trip():
+        return Message.from_wire(msg.to_wire())
+    result = benchmark(round_trip)
+    assert result.get_answer("example.com.", rdtypes.HTTPS) is not None
+
+
+def test_rrset_signing_throughput(benchmark):
+    key = ZoneKey.derive(Name.from_text("example.com."), "zsk")
+    rrset = RRset.from_text("example.com.", 300, "HTTPS", "1 . alpn=h2,h3")
+    rrsig = benchmark(sign_rrset, rrset, Name.from_text("example.com."), key, 1000)
+    assert rrsig.signature
+
+
+def test_recursive_resolution_throughput(bench_world, benchmark):
+    from repro.simnet import timeline
+
+    bench_world.set_time(max(bench_world.current_date, timeline.date_of(30)))
+    profiles = [p for p in bench_world.listed_profiles() if p.adopter][:50]
+
+    def resolve_batch():
+        count = 0
+        for profile in profiles:
+            response = bench_world.stub.query_https(profile.apex)
+            count += bool(response.answers)
+        # Flush so every round does real resolution work.
+        bench_world.google_resolver.flush_cache()
+        bench_world.cloudflare_resolver.flush_cache()
+        return count
+
+    hits = benchmark(resolve_batch)
+    assert hits > 0

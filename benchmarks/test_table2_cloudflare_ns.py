@@ -1,0 +1,34 @@
+"""Table 2 — Cloudflare vs non-Cloudflare name servers among apex domains
+with HTTPS records."""
+
+from conftest import scale_note
+
+from repro.analysis import nameservers
+from repro.reporting import render_comparison
+
+
+def test_table2_cloudflare_ns(bench_dataset, bench_config, benchmark, report):
+    stats = benchmark(nameservers.table2_ns_shares, bench_dataset)
+    overlapping = nameservers.table2_ns_shares(bench_dataset, overlapping_only=True)
+    boost = bench_config.noncf_boost
+    corrected_full = stats.full_mean_pct + stats.none_mean_pct * (1 - 1 / boost)
+    corrected_none = stats.none_mean_pct / boost
+
+    report(
+        render_comparison(
+            "Table 2: apex domains (with HTTPS RR) on Cloudflare NS",
+            [
+                ("Full Cloudflare NS (dynamic)", "99.89%", f"{stats.full_mean_pct:.2f}% (boost-corrected {corrected_full:.2f}%)"),
+                ("None Cloudflare NS (dynamic)", "0.11%", f"{stats.none_mean_pct:.2f}% (boost-corrected {corrected_none:.2f}%)"),
+                ("Partial Cloudflare NS", "<0.01%", f"{stats.partial_mean_pct:.3f}%"),
+                ("Full Cloudflare NS (overlapping)", "99.87%", f"{overlapping.full_mean_pct:.2f}%"),
+                ("std (full, dynamic)", "0.03", f"{stats.full_std:.2f}"),
+            ],
+        )
+        + f"\n  note: non-Cloudflare cohort oversampled x{boost:.0f} for Table 3 statistics; "
+        + scale_note(bench_config)
+    )
+
+    assert stats.full_mean_pct > 95.0
+    assert corrected_none < 0.5
+    assert stats.partial_mean_pct < 1.0

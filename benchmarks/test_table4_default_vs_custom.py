@@ -1,0 +1,26 @@
+"""Table 4 — Cloudflare default vs customized HTTPS record configuration."""
+
+from repro.analysis import parameters
+from repro.reporting import render_comparison
+
+
+def test_table4_default_vs_custom(bench_dataset, benchmark, report):
+    dynamic = benchmark(parameters.table4_default_vs_custom, bench_dataset)
+    overlapping = parameters.table4_default_vs_custom(bench_dataset, overlapping_only=True)
+
+    report(
+        render_comparison(
+            "Table 4: Cloudflare-NS domains with default vs customized HTTPS config",
+            [
+                ("default (dynamic)", "79.96%", f"{dynamic.default_pct:.2f}%"),
+                ("customized (dynamic)", "20.04%", f"{dynamic.customized_pct:.2f}%"),
+                ("default (overlapping)", "72.37%", f"{overlapping.default_pct:.2f}%"),
+                ("customized (overlapping)", "27.63%", f"{overlapping.customized_pct:.2f}%"),
+            ],
+        )
+    )
+
+    assert 68.0 <= dynamic.default_pct <= 88.0
+    assert overlapping.default_pct <= dynamic.default_pct + 2.0, (
+        "overlapping domains customize more than dynamic ones"
+    )

@@ -1,0 +1,32 @@
+"""Table 6 — browser support matrix for HTTPS RR, regenerated from the
+client-side testbed."""
+
+from repro.browser.experiments import FULL, HALF, NONE, build_table6
+
+
+PAPER_TABLE6 = {
+    "{apex}": {"Chrome": FULL, "Safari": HALF, "Edge": FULL, "Firefox": FULL},
+    "http://{apex}": {"Chrome": FULL, "Safari": HALF, "Edge": FULL, "Firefox": FULL},
+    "https://{apex}": {"Chrome": FULL, "Safari": FULL, "Edge": FULL, "Firefox": FULL},
+    "AliasMode TargetName": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": NONE},
+    "TargetName": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": FULL},
+    "port": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": FULL},
+    "alpn": {"Chrome": FULL, "Safari": FULL, "Edge": FULL, "Firefox": FULL},
+    "IP hints": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": FULL},
+}
+
+
+def test_table6_browser_support(benchmark, report):
+    matrix = benchmark.pedantic(build_table6, rounds=1, iterations=1)
+    mismatches = [
+        (row, browser, matrix.rows[row][browser], expected)
+        for row, cells in PAPER_TABLE6.items()
+        for browser, expected in cells.items()
+        if matrix.rows[row][browser] != expected
+    ]
+    report(
+        matrix.render()
+        + "\n\n  paper agreement: "
+        + ("exact (all 32 cells)" if not mismatches else f"mismatches: {mismatches}")
+    )
+    assert not mismatches, f"Table 6 diverges from the paper: {mismatches}"

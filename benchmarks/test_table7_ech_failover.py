@@ -1,0 +1,30 @@
+"""Table 7 — browser ECH support and failover, regenerated from the
+client-side testbed."""
+
+from repro.browser.experiments import FULL, NONE, build_table7
+
+
+PAPER_TABLE7 = {
+    "Shared Mode Support": {"Chrome": FULL, "Edge": FULL, "Firefox": FULL},
+    "(1) Unilateral ECH": {"Chrome": FULL, "Edge": FULL, "Firefox": FULL},
+    "(2) Malformed ECH": {"Chrome": NONE, "Edge": NONE, "Firefox": FULL},
+    "(3) Mismatched key": {"Chrome": FULL, "Edge": FULL, "Firefox": FULL},
+    "Split Mode Support": {"Chrome": NONE, "Edge": NONE, "Firefox": NONE},
+}
+
+
+def test_table7_ech_failover(benchmark, report):
+    matrix = benchmark.pedantic(build_table7, rounds=1, iterations=1)
+    mismatches = [
+        (row, browser, matrix.rows[row][browser], expected)
+        for row, cells in PAPER_TABLE7.items()
+        for browser, expected in cells.items()
+        if matrix.rows[row][browser] != expected
+    ]
+    report(
+        matrix.render()
+        + "\n\n  paper agreement: "
+        + ("exact (all 15 cells)" if not mismatches else f"mismatches: {mismatches}")
+    )
+    assert not mismatches, f"Table 7 diverges from the paper: {mismatches}"
+    assert any("ERR_ECH_FALLBACK_CERTIFICATE_INVALID" in note for note in matrix.notes)

@@ -1,0 +1,38 @@
+"""Table 8 — application protocols advertised via the alpn SvcParam."""
+
+from repro.analysis import parameters
+from repro.reporting import render_comparison
+
+
+def test_table8_alpn(bench_dataset, benchmark, report):
+    apex = benchmark(parameters.table8_alpn, bench_dataset)
+    www = parameters.table8_alpn(bench_dataset, kind="www")
+    noncf = parameters.noncf_alpn_shares(bench_dataset)
+
+    report(
+        render_comparison(
+            "Table 8: alpn protocol shares (overlapping domains, daily average)",
+            [
+                ("HTTP/2 (apex)", "99.64%", f"{apex.h2_pct:.2f}%"),
+                ("HTTP/3 (apex)", "78.42%", f"{apex.h3_pct:.2f}%"),
+                ("HTTP/3-29 before May 31", "77.43%", f"{apex.h3_29_before_pct:.2f}%"),
+                ("HTTP/3-29 after May 31", "<0.01%", f"{apex.h3_29_after_pct:.3f}%"),
+                ("HTTP/3-27", "<0.01%", f"{apex.h3_27_pct:.3f}%"),
+                ("HTTP/1.1", "<0.01%", f"{apex.http11_pct:.3f}%"),
+                ("HTTP/2 (www)", "99.61%", f"{www.h2_pct:.2f}%"),
+                ("non-CF h2", "64.09%", f"{noncf['h2']:.2f}%"),
+                ("non-CF h3", "26.79%", f"{noncf['h3']:.2f}%"),
+                ("non-CF without alpn", "8.44%", f"{noncf['no_alpn']:.2f}%"),
+            ],
+        )
+        + "\n  note: the non-CF no-alpn share runs high because Google/GoDaddy"
+        "\n  (whose records omit alpn) are oversampled relative to the long tail"
+        "\n  to keep Tables 3/5 meaningful at 1/167 scale (see providers.py)"
+    )
+
+    assert apex.h2_pct > 93.0
+    assert 55.0 < apex.h3_pct < apex.h2_pct
+    assert apex.h3_29_before_pct > 50.0
+    assert apex.h3_29_after_pct < 2.0
+    assert noncf["h2"] < apex.h2_pct
+    assert noncf["no_alpn"] > 5.0

@@ -1,0 +1,43 @@
+"""Table 9 — DNSSEC chain validation of top domains (Jan 2, 2024
+snapshot), split by HTTPS RR publication and NS operator."""
+
+from conftest import scale_note
+
+from repro.analysis import dnssec_analysis
+from repro.reporting import render_table
+
+
+def test_table9_dnssec(bench_dataset, bench_config, benchmark, report):
+    rows = benchmark(dnssec_analysis.table9_validation, bench_dataset)
+    congruence = dnssec_analysis.registrar_congruence(bench_dataset)
+    table_rows = [
+        (row.category, row.signed, f"{row.secure} ({row.secure_pct:.1f}%)", f"{row.insecure} ({row.insecure_pct:.1f}%)")
+        for row in rows
+    ]
+    report(
+        render_table(
+            "Table 9: DNSSEC validation of signed domains (snapshot)",
+            ["category", "signed", "secure", "insecure"],
+            table_rows,
+            note=(
+                "paper: without-HTTPS 76.2%/23.7%; with-HTTPS 50.6%/49.4%; "
+                "Cloudflare 50.5%/49.5%; non-Cloudflare 85.9%/14.1%. "
+                f"registrar congruence (paper 26%): {congruence.congruent_pct:.1f}%. "
+                + scale_note(bench_config)
+            ),
+        )
+    )
+
+    by_category = {row.category: row for row in rows}
+    without = by_category["without HTTPS RR"]
+    with_https = by_category["with HTTPS RR"]
+    cloudflare = by_category["- Cloudflare"]
+    noncf = by_category["- Non-Cloudflare"]
+
+    assert without.signed > with_https.signed, "non-publishers outnumber publishers"
+    # The paper's central Table 9 contrast:
+    assert with_https.insecure_pct > without.insecure_pct + 10.0
+    assert 35.0 <= cloudflare.insecure_pct <= 65.0
+    if noncf.signed >= 5:
+        assert noncf.insecure_pct < cloudflare.insecure_pct
+    assert congruence.congruent_pct < 60.0

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Reproduce the client-side browser experiments (§5).
+
+Sets up the paper's testbed — our own domain, authoritative name server,
+and ECH-capable web server — and walks Chrome, Safari, Edge, and Firefox
+through the full experiment matrix, regenerating Tables 6 and 7.
+
+Run:  python examples/browser_testbed.py
+"""
+
+from repro.browser import Testbed, TEST_DOMAIN, build_table6, build_table7
+
+
+def narrate_one_navigation() -> None:
+    print("== A single instrumented page load ==")
+    testbed = Testbed()
+    testbed.clear_endpoints()
+    testbed.simple_service_zone("1 . alpn=h2 port=8443")
+    testbed.install_web_server(port=8443)
+
+    for name in ("Firefox", "Chrome"):
+        testbed.new_round()
+        browser = testbed.browser(name)
+        result = browser.navigate(f"https://{TEST_DOMAIN}")
+        print(f"\n{name} -> https://{TEST_DOMAIN}  (record: 1 . alpn=h2 port=8443)")
+        print(f"  DNS queries: {[(n, t) for n, t in browser.dns_log]}")
+        for event in result.events:
+            print(f"  - {event}")
+        status = f"connected to {result.ip}:{result.port} over {result.alpn}" if result.success else f"FAILED: {result.error}"
+        print(f"  => {status}")
+
+
+def ech_retry_demo() -> None:
+    print("\n== ECH key mismatch and the retry mechanism (§5.3.1-(3)) ==")
+    import base64
+
+    from repro.ech.config import ECHConfigList
+
+    testbed = Testbed()
+    km = testbed.make_ech_manager()
+    stale_wire = km.published_wire(0)  # what a resolver cache would hold
+    current_keys = [km.keypair_for_generation(9)]  # what the server rotated to
+    retry_wire = ECHConfigList([km.config_for_generation(9)]).to_wire()
+
+    encoded = base64.b64encode(stale_wire).decode()
+    testbed.set_zone_records([
+        ("@", "HTTPS", f"1 . alpn=h2 ech={encoded}"),
+        ("@", "A", "2.2.2.2"),
+        ("cover", "A", "2.2.2.2"),
+    ])
+    testbed.clear_endpoints()
+    testbed.install_web_server(
+        ip="2.2.2.2",
+        cert_names=(TEST_DOMAIN, f"cover.{TEST_DOMAIN}"),
+        ech_keypairs=current_keys,
+        ech_retry_wire=retry_wire,
+    )
+    result = testbed.browser("Chrome").navigate(f"https://{TEST_DOMAIN}")
+    print(f"  stale ECH config in DNS, fresh key on the server:")
+    for event in result.events:
+        print(f"  - {event}")
+    print(f"  => success={result.success}, ech_accepted={result.ech_accepted}, "
+          f"retried={result.ech_retried}")
+
+
+def main() -> None:
+    narrate_one_navigation()
+    ech_retry_demo()
+    print("\n== Table 6: HTTPS RR support matrix ==")
+    print(build_table6().render())
+    print("\n== Table 7: ECH support and failover ==")
+    print(build_table7().render())
+    print("\nLegend: ● full support  ◐ fetched but not utilized  ○ no support")
+
+
+if __name__ == "__main__":
+    main()

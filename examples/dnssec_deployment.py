@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""DNSSEC for HTTPS records: the §4.5 failure modes, end to end.
+
+Builds a root -> com -> domain chain and walks through the four postures
+the paper measures, showing what a validating resolver returns (AD bit,
+SERVFAIL) in each case:
+
+1. unsigned zone                      -> insecure (no AD)
+2. signed, DS uploaded                -> secure (AD set)
+3. signed, DS missing at the parent   -> insecure (the paper's dominant
+   failure: third-party DNS operator, registrar never gets the DS)
+4. signed, corrupted RRSIG            -> bogus (SERVFAIL)
+
+Run:  python examples/dnssec_deployment.py
+"""
+
+from repro.dnscore import Name, rdtypes
+from repro.dnssec import ChainValidator
+from repro.resolver import AuthoritativeServer, Network, RecursiveResolver, SimClock
+from repro.zones import Zone, ZoneTree
+
+NOW = 1_000_000
+
+
+def build(posture: str):
+    network = Network()
+    clock = SimClock(NOW)
+    root = Zone(Name.root())
+    root.ensure_soa()
+    root.delegate(Name.from_text("com."), [Name.from_text("ns.tld.")])
+    root.add_record("ns.tld.", "A", "192.5.6.30")
+    com = Zone(Name.from_text("com."))
+    com.ensure_soa()
+    com.delegate(Name.from_text("shop.com."), [Name.from_text("ns1.shop.com.")])
+    com.add_record("ns1.shop.com.", "A", "10.0.0.1")
+    shop = Zone(Name.from_text("shop.com."))
+    shop.ensure_soa()
+    shop.add_record("shop.com.", "HTTPS", "1 . alpn=h2,h3")
+    shop.add_record("shop.com.", "A", "10.0.0.9")
+    shop.add_record("ns1.shop.com.", "A", "10.0.0.1")
+
+    if posture != "unsigned":
+        shop.sign(NOW)
+    com.sign(NOW)
+    root.sign(NOW)
+
+    tree = ZoneTree()
+    for zone in (root, com, shop):
+        tree.add_zone(zone)
+    tree.upload_ds(Name.from_text("com."), NOW)
+    if posture in ("secure", "bogus"):
+        tree.upload_ds(Name.from_text("shop.com."), NOW)
+    if posture == "bogus":
+        shop.corrupt_signature(Name.from_text("shop.com."), rdtypes.HTTPS)
+
+    for ip, zones in (("198.41.0.4", [root]), ("192.5.6.30", [com]), ("10.0.0.1", [shop])):
+        server = AuthoritativeServer(ip)
+        for zone in zones:
+            server.tree.add_zone(zone)
+        network.register_dns(ip, server)
+
+    resolver = RecursiveResolver(
+        "validating", network, ["198.41.0.4"], clock, validator=ChainValidator(tree)
+    )
+    return resolver
+
+
+def main() -> None:
+    postures = [
+        ("unsigned", "zone publishes no DNSKEY at all"),
+        ("secure", "signed and DS uploaded to the registry"),
+        ("no-ds", "signed, but the DS never reached the parent zone"),
+        ("bogus", "signed, but the RRSIG is corrupted"),
+    ]
+    print("posture      rcode     AD   RRSIG-in-answer   (what the paper's scanner records)")
+    for posture, description in postures:
+        resolver = build(posture)
+        response = resolver.resolve("shop.com.", rdtypes.HTTPS)
+        rcode = {0: "NOERROR", 2: "SERVFAIL", 3: "NXDOMAIN"}.get(response.rcode, response.rcode)
+        has_sig = response.get_answer(Name.from_text("shop.com."), rdtypes.RRSIG) is not None
+        print(f"{posture:<12} {rcode:<9} {str(response.authenticated_data):<5}"
+              f"{str(has_sig):<17} {description}")
+    print(
+        "\nTable 9 context: ~49% of signed HTTPS-publishing domains sit in the"
+        "\n'no-ds' row — signed yet unvalidatable — versus ~24% of non-publishers."
+    )
+
+
+if __name__ == "__main__":
+    main()

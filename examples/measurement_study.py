@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Run a miniature version of the paper's server-side study (§4).
+
+Builds a small simulated Internet, runs the daily scan campaign over the
+full May 2023 – Mar 2024 window (sampled monthly so this finishes in
+seconds), and prints the headline analyses: adoption (Fig 2), name
+servers (Table 2), default-vs-custom configs (Table 4), the ECH disable
+event (Fig 13), key-rotation cadence (Fig 4), and DNSSEC (Table 9).
+
+Run:  python examples/measurement_study.py [population]
+"""
+
+import sys
+
+from repro.analysis import adoption, dnssec_analysis, ech_analysis, nameservers, parameters
+from repro.reporting import render_comparison, render_series, render_table
+from repro.scanner import run_campaign
+from repro.simnet import SimConfig, World
+
+
+def main() -> None:
+    population = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
+    print(f"building a {population}-domain Internet and scanning it "
+          "(May 2023 - Mar 2024, monthly samples + the hourly ECH week)...")
+    config = SimConfig(population=population)
+    world = World(config)
+    dataset = run_campaign(world, day_step=28, ech_sample=60)
+    print(f"done: {len(dataset.days())} scan days, "
+          f"{world.network.dns_query_count} DNS queries, "
+          f"{len(dataset.ech_observations)} hourly ECH sightings\n")
+
+    summary = adoption.summarize(dataset)
+    print(render_comparison(
+        "Adoption (Figure 2)",
+        [
+            ("rate band", "20-27%", f"{summary.dynamic_apex_start:.1f}-{summary.dynamic_apex_end:.1f}%"),
+            ("dynamic trend", "rising", "rising" if summary.dynamic_rising else "flat"),
+        ],
+    ))
+    series = adoption.dynamic_adoption(dataset)["apex"]
+    print()
+    print(render_series("dynamic apex adoption %", series.points))
+
+    stats = nameservers.table2_ns_shares(dataset)
+    print()
+    print(render_comparison(
+        "Name servers (Table 2)",
+        [("full-Cloudflare share", "99.89%", f"{stats.full_mean_pct:.2f}% (non-CF cohort oversampled x{config.noncf_boost:.0f})")],
+    ))
+
+    table4 = parameters.table4_default_vs_custom(dataset)
+    print()
+    print(render_comparison(
+        "Cloudflare config (Table 4)",
+        [("default share", "~80%", f"{table4.default_pct:.1f}%")],
+    ))
+
+    event = ech_analysis.detect_disable_event(dataset)
+    rotation = ech_analysis.fig4_rotation(dataset)
+    print()
+    print(render_comparison(
+        "ECH (Figures 4, 13)",
+        [
+            ("share before Oct 5", "~70%", f"{event.pre_disable_mean_pct:.1f}%"),
+            ("share after Oct 5", "0%", f"{event.post_disable_max_pct:.1f}%"),
+            ("key rotation", "1.26 h", f"{rotation.overall_mean_hours:.2f} h"),
+            ("client-facing server", "cloudflare-ech.com", ", ".join(rotation.public_names)),
+        ],
+    ))
+
+    rows = dnssec_analysis.table9_validation(dataset)
+    print()
+    print(render_table(
+        "DNSSEC validation (Table 9)",
+        ["category", "signed", "secure %", "insecure %"],
+        [(r.category, r.signed, f"{r.secure_pct:.1f}", f"{r.insecure_pct:.1f}") for r in rows],
+        note="paper: with-HTTPS domains are insecure ~49% vs ~24% without",
+    ))
+
+
+if __name__ == "__main__":
+    main()

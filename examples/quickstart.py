@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: the core HTTPS-RR API in five minutes.
+
+Covers: building/parsing HTTPS records (RFC 9460), serving them from an
+authoritative zone, resolving them through a recursive resolver over the
+simulated network, and reading the SvcParams a client would use.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dnscore import Message, Name, rdtypes
+from repro.dnscore.rdata import HTTPSRdata, rdata_from_text
+from repro.resolver import (
+    AuthoritativeServer,
+    Network,
+    RecursiveResolver,
+    SimClock,
+    StubResolver,
+)
+from repro.svcb import Alpn, Ipv4Hint, Port, SvcParams
+from repro.zones import Zone
+
+
+def build_records() -> None:
+    print("== 1. HTTPS records: presentation text <-> typed objects <-> wire ==")
+    # Parse zone-file syntax (this is Cloudflare's default proxied record).
+    record = rdata_from_text(
+        rdtypes.HTTPS, "1 . alpn=h2,h3 ipv4hint=104.16.1.1 ipv6hint=2606:4700::1"
+    )
+    print("parsed:        ", record.to_text())
+    print("mode:          ", "ServiceMode" if record.is_service_mode else "AliasMode")
+    print("effective alpn:", record.params.effective_alpn())
+
+    # Or build programmatically with typed SvcParams.
+    custom = HTTPSRdata(
+        1,
+        Name.root(),
+        SvcParams([Alpn(["h2"]), Port(8443), Ipv4Hint(["192.0.2.1"])]),
+    )
+    wire = custom.wire_bytes()
+    print(f"built:          {custom.to_text()}  ({len(wire)} wire octets)")
+
+
+def serve_and_resolve() -> None:
+    print("\n== 2. Serve a zone and resolve it recursively ==")
+    network = Network()
+    clock = SimClock(1_000_000)
+
+    # Root zone delegating to our domain (a two-level toy Internet).
+    root = Zone(Name.root())
+    root.ensure_soa()
+    root.delegate(Name.from_text("example.com."), [Name.from_text("ns1.example.com.")])
+    root.add_record("ns1.example.com.", "A", "10.0.0.1")
+
+    zone = Zone(Name.from_text("example.com."))
+    zone.ensure_soa()
+    zone.add_record("example.com.", "HTTPS", "1 . alpn=h2,h3 ipv4hint=10.0.0.9")
+    zone.add_record("example.com.", "A", "10.0.0.9")
+    zone.add_record("ns1.example.com.", "A", "10.0.0.1")
+
+    root_server = AuthoritativeServer("root")
+    root_server.tree.add_zone(root)
+    our_server = AuthoritativeServer("ns1.example.com")
+    our_server.tree.add_zone(zone)
+    network.register_dns("198.41.0.4", root_server)
+    network.register_dns("10.0.0.1", our_server)
+
+    resolver = RecursiveResolver("resolver", network, ["198.41.0.4"], clock)
+    stub = StubResolver([resolver])
+
+    response = stub.query_https("example.com.")
+    rrset = response.get_answer(Name.from_text("example.com."), rdtypes.HTTPS)
+    print("answer:", rrset.to_text())
+    record = rrset[0]
+    print("a client would connect with:")
+    print("  alpn      :", record.params.effective_alpn())
+    print("  ipv4 hints:", record.params.ipv4hint)
+    print(f"({network.dns_query_count} queries on the wire, then cache hits)")
+    stub.query_https("example.com.")
+    print(f"after a repeat query: still {network.dns_query_count} — served from cache")
+
+
+def main() -> None:
+    build_records()
+    serve_and_resolve()
+
+
+if __name__ == "__main__":
+    main()

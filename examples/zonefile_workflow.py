@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Operate like a DNS admin: author a zone file, serve it, break it, fix it.
+
+Walks the full operator workflow for HTTPS records the paper's
+discussion (§7) argues needs automation: write a BIND-style zone file
+with an HTTPS record + ECH, load and serve it, watch a stale ECH key
+break clients that lack retry, and re-publish a corrected zone.
+
+Run:  python examples/zonefile_workflow.py
+"""
+
+import base64
+
+from repro.browser import Testbed, TEST_DOMAIN
+from repro.dnscore import Name, rdtypes
+from repro.ech import ECHConfigList, ECHKeyManager
+from repro.zones import parse_zone_file, serialize_zone
+
+ZONE_TEMPLATE = """
+$ORIGIN {origin}
+$TTL 60
+@   IN SOA ns1.{origin} hostmaster.{origin} ( 2024030101 7200 3600 1209600 300 )
+@   IN NS   ns1.{origin}
+ns1 IN A    52.20.30.40
+@   IN A    2.2.2.2
+cover IN A  2.2.2.2
+@   IN HTTPS 1 . alpn=h2 ech={ech_b64}
+www IN CNAME {origin}
+"""
+
+
+def main() -> None:
+    km = ECHKeyManager(f"cover.{TEST_DOMAIN}", seed=b"testbed")
+    stale_wire = km.published_wire(0)
+
+    print("== 1. Author the zone file (with an ECH config that will go stale) ==")
+    text = ZONE_TEMPLATE.format(
+        origin=TEST_DOMAIN + ".", ech_b64=base64.b64encode(stale_wire).decode()
+    )
+    zone = parse_zone_file(text)
+    print(f"parsed {len(zone.rrsets())} RRsets; apex = {zone.apex}")
+    https = zone.get_rrset(zone.apex, rdtypes.HTTPS)
+    print("HTTPS record:", https[0].to_text()[:80], "...")
+
+    print("\n== 2. Serve it from the testbed's authoritative server ==")
+    testbed = Testbed()
+    testbed.auth_server.tree = type(testbed.auth_server.tree)()
+    testbed.auth_server.tree.add_zone(zone)
+    testbed.new_round()
+    testbed.clear_endpoints()
+    # The web server has rotated far past the published key — and this
+    # operator disabled the retry mechanism (discouraged by the spec).
+    testbed.install_web_server(
+        ip="2.2.2.2",
+        cert_names=(TEST_DOMAIN, f"cover.{TEST_DOMAIN}"),
+        ech_keypairs=[km.keypair_for_generation(9)],
+        ech_retry_wire=None,
+        retry_enabled=False,
+    )
+    result = testbed.browser("Chrome").navigate(f"https://{TEST_DOMAIN}")
+    print(f"Chrome with stale ECH + no retry: success={result.success}, "
+          f"ech_accepted={result.ech_accepted}")
+    print("  (the outer handshake authenticates the cover name, so the client "
+          "falls back to plain TLS — but the SNI leaked)")
+
+    print("\n== 3. Fix: publish the current key and enable retry ==")
+    fresh_wire = ECHConfigList([km.config_for_generation(9)]).to_wire()
+    zone.remove_rrset(zone.apex, rdtypes.HTTPS)
+    zone.add_record(
+        TEST_DOMAIN + ".", "HTTPS",
+        f"1 . alpn=h2 ech={base64.b64encode(fresh_wire).decode()}",
+    )
+    testbed.network.unregister_tcp("2.2.2.2", 443)
+    testbed.install_web_server(
+        ip="2.2.2.2",
+        cert_names=(TEST_DOMAIN, f"cover.{TEST_DOMAIN}"),
+        ech_keypairs=[km.keypair_for_generation(9)],
+        ech_retry_wire=fresh_wire,
+    )
+    testbed.new_round()
+    result = testbed.browser("Chrome").navigate(f"https://{TEST_DOMAIN}")
+    print(f"after fix: success={result.success}, ech_accepted={result.ech_accepted}")
+
+    print("\n== 4. Round-trip the zone back to a file ==")
+    print(serialize_zone(zone)[:400] + "  ...")
+
+
+if __name__ == "__main__":
+    main()

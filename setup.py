@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by pyproject.toml; this file exists so
+`pip install -e . --no-build-isolation` works on environments without
+the `wheel` package (PEP 660 fallback to `setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

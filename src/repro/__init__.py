@@ -1,0 +1,24 @@
+"""repro — an end-to-end reproduction of "Exploring the Ecosystem of DNS
+HTTPS Resource Records" (IMC 2024).
+
+Layers (bottom-up):
+
+* :mod:`repro.dnscore` / :mod:`repro.svcb` — DNS wire format and the
+  RFC 9460 SVCB/HTTPS record type with typed SvcParams;
+* :mod:`repro.ech` — ECHConfig (draft-13) + simulated HPKE + key rotation;
+* :mod:`repro.dnssec` — keys, signing, DS, chain validation;
+* :mod:`repro.zones` / :mod:`repro.resolver` — zones, authoritative and
+  recursive (caching, validating) resolution over a simulated network;
+* :mod:`repro.simnet` / :mod:`repro.whois` — the simulated Internet:
+  20k-domain Tranco-like population, provider models, study timeline;
+* :mod:`repro.scanner` — the paper's measurement framework (§4.1);
+* :mod:`repro.analysis` — the §4 server-side analyses (every table/figure);
+* :mod:`repro.browser` — the §5 client-side testbed and browser models;
+* :mod:`repro.reporting` — output rendering for the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import dnscore, svcb  # noqa: F401  (core layers are always importable)
+
+__all__ = ["dnscore", "svcb", "__version__"]

@@ -1,0 +1,27 @@
+"""Server-side analyses reproducing §4 of the paper."""
+
+from . import (
+    adoption,
+    appendix,
+    common,
+    dnssec_analysis,
+    ech_analysis,
+    hints,
+    intermittent,
+    nameservers,
+    parameters,
+    tranco,
+)
+
+__all__ = [
+    "adoption",
+    "appendix",
+    "common",
+    "dnssec_analysis",
+    "ech_analysis",
+    "hints",
+    "intermittent",
+    "nameservers",
+    "parameters",
+    "tranco",
+]

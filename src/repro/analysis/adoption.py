@@ -1,0 +1,99 @@
+"""§4.2.1 — HTTPS RR adoption rates (Figure 2).
+
+Produces the four series of Figure 2: apex and www adoption percentages
+for (a) the dynamic daily Tranco list and (b) the overlapping domains
+that appear on every scan day of a phase.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..simnet import timeline
+from ..scanner.dataset import Dataset
+
+
+@dataclass
+class AdoptionSeries:
+    """One line of Figure 2: (date, percentage) points."""
+
+    label: str
+    points: List[Tuple[datetime.date, float]]
+
+    def first(self) -> float:
+        return self.points[0][1] if self.points else 0.0
+
+    def last(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    def trend(self) -> float:
+        """Last minus first percentage (sign gives the direction)."""
+        return self.last() - self.first()
+
+
+def dynamic_adoption(dataset: Dataset) -> Dict[str, AdoptionSeries]:
+    """Figure 2a: dynamic Tranco top-list adoption, apex and www."""
+    apex_points, www_points = [], []
+    for day in dataset.days():
+        snapshot = dataset.snapshot(day)
+        denominator = max(1, snapshot.list_size)
+        apex_points.append((day, 100.0 * snapshot.apex_https_count / denominator))
+        www_points.append((day, 100.0 * snapshot.www_https_count / denominator))
+    return {
+        "apex": AdoptionSeries("dynamic apex", apex_points),
+        "www": AdoptionSeries("dynamic www", www_points),
+    }
+
+
+def overlapping_adoption(dataset: Dataset) -> Dict[str, AdoptionSeries]:
+    """Figure 2b: adoption among phase-overlapping domains."""
+    apex_points, www_points = [], []
+    overlap = {1: dataset.overlapping_domains(1), 2: dataset.overlapping_domains(2)}
+    for day in dataset.days():
+        snapshot = dataset.snapshot(day)
+        names = overlap[timeline.phase_of(day)]
+        if not names:
+            continue
+        denominator = len(names)
+        apex_count = sum(1 for name in snapshot.apex if name in names)
+        # www observations are stored under "www.<apex>"; membership is by
+        # the apex name.
+        www_count = sum(
+            1 for name in snapshot.www if name.startswith("www.") and name[4:] in names
+        )
+        apex_points.append((day, 100.0 * apex_count / denominator))
+        www_points.append((day, 100.0 * www_count / denominator))
+    return {
+        "apex": AdoptionSeries("overlapping apex", apex_points),
+        "www": AdoptionSeries("overlapping www", www_points),
+    }
+
+
+@dataclass
+class AdoptionSummary:
+    """The headline numbers the paper reports from Figure 2."""
+
+    dynamic_apex_start: float
+    dynamic_apex_end: float
+    overlapping_apex_mean_phase2: float
+    dynamic_rising: bool
+    overlapping_stable_or_declining: bool
+    in_paper_band: bool  # all rates within the 20-27% band
+
+
+def summarize(dataset: Dataset) -> AdoptionSummary:
+    dynamic = dynamic_adoption(dataset)["apex"]
+    overlapping = overlapping_adoption(dataset)["apex"]
+    phase2 = [v for d, v in overlapping.points if timeline.phase_of(d) == 2]
+    phase2_mean = sum(phase2) / len(phase2) if phase2 else 0.0
+    all_values = [v for _d, v in dynamic.points] + [v for _d, v in overlapping.points]
+    return AdoptionSummary(
+        dynamic_apex_start=dynamic.first(),
+        dynamic_apex_end=dynamic.last(),
+        overlapping_apex_mean_phase2=phase2_mean,
+        dynamic_rising=dynamic.trend() > 0,
+        overlapping_stable_or_declining=overlapping.trend() <= 1.0,
+        in_paper_band=all(15.0 <= v <= 32.0 for v in all_values),
+    )

@@ -1,0 +1,123 @@
+"""Appendix E — the parameter-oddity census.
+
+The paper's appendix names specific misconfigurations and oddities:
+AliasMode records that alias to themselves, IP-address and URL literals
+in TargetName, the geo-routing.nexuspipe.com multi-priority/port scheme,
+draft-HTTP/3 stragglers, HTTP/1.1-only domains, and the Google-QUIC
+(Q043/Q046/Q050) cohort that appears on Feb 11, 2024. This module finds
+all of them in a campaign dataset.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..scanner.dataset import Dataset
+from ..svcb.params import ALPN_H3_27, ALPN_H3_29, ALPN_HTTP11, GOOGLE_QUIC_VERSIONS
+from ..simnet import timeline
+
+
+@dataclass
+class OddityCensus:
+    """Appendix E.1/E.2 named findings."""
+
+    alias_self_domains: List[str]  # "0 ." — no true alias (newlinesmag.com)
+    ip_target_domains: List[str]  # TargetName is an address literal
+    url_target_domains: List[str]  # TargetName is an https:// URL
+    multi_priority_domains: Dict[str, List[Tuple[int, Optional[int]]]]  # name -> [(prio, port)]
+    odd_single_priority_domains: Dict[str, int]  # host-ir.com: 443, pionerfm.ru: 1800
+    draft_h3_domains: List[str]  # still advertising h3-27/h3-29 late
+    http11_only_domains: List[str]
+    google_quic_domains: List[str]
+
+
+def _looks_like_ip(target: str) -> bool:
+    # An address literal stuffed into TargetName is one label, so its
+    # presentation form escapes the dots ("1\.2\.3\.4.").
+    stripped = target.replace("\\.", ".").rstrip(".")
+    parts = stripped.split(".")
+    return len(parts) == 4 and all(p.isdigit() and int(p) <= 255 for p in parts)
+
+
+def census(dataset: Dataset, date: Optional[datetime.date] = None) -> OddityCensus:
+    """Scan one day's apex observations for every Appendix-E oddity."""
+    days = dataset.days()
+    if date is None:
+        date = days[-1]
+    snapshot = dataset.snapshot(date)
+
+    alias_self: List[str] = []
+    ip_target: List[str] = []
+    url_target: List[str] = []
+    multi_priority: Dict[str, List[Tuple[int, Optional[int]]]] = {}
+    odd_priority: Dict[str, int] = {}
+    draft_h3: List[str] = []
+    http11_only: List[str] = []
+
+    for name, obs in sorted(snapshot.apex.items()):
+        records = obs.https_records
+        priorities = sorted({r.priority for r in records})
+        if len(records) > 1 and len(priorities) > 1:
+            multi_priority[name] = sorted(
+                (r.priority, r.port) for r in records
+            )
+        elif len(records) == 1 and records[0].priority not in (0, 1):
+            odd_priority[name] = records[0].priority
+        for record in records:
+            target = record.target
+            if record.is_alias_mode and target == ".":
+                alias_self.append(name)
+            if _looks_like_ip(target):
+                ip_target.append(name)
+            if target.startswith("https://"):
+                url_target.append(name)
+            alpn = set(record.alpn or ())
+            if alpn & {ALPN_H3_27, ALPN_H3_29} and date >= timeline.H3_29_RETIREMENT:
+                draft_h3.append(name)
+            if alpn == {ALPN_HTTP11}:
+                http11_only.append(name)
+
+    # Google-QUIC cohort: visible only from Feb 11, 2024.
+    google_quic: List[str] = []
+    for day in days:
+        if day < timeline.GOOGLE_QUIC_APPEARANCE:
+            continue
+        for name, obs in dataset.snapshot(day).apex.items():
+            for record in obs.https_records:
+                if set(record.alpn or ()) & set(GOOGLE_QUIC_VERSIONS):
+                    google_quic.append(name)
+    return OddityCensus(
+        alias_self_domains=sorted(set(alias_self)),
+        ip_target_domains=sorted(set(ip_target)),
+        url_target_domains=sorted(set(url_target)),
+        multi_priority_domains=multi_priority,
+        odd_single_priority_domains=odd_priority,
+        draft_h3_domains=sorted(set(draft_h3)),
+        http11_only_domains=sorted(set(http11_only)),
+        google_quic_domains=sorted(set(google_quic)),
+    )
+
+
+def google_quic_first_seen(dataset: Dataset) -> Optional[datetime.date]:
+    """The first scan day the Q043/Q046/Q050 cohort shows up (paper:
+    Feb 11, 2024)."""
+    for day in dataset.days():
+        for obs in dataset.snapshot(day).apex.values():
+            for record in obs.https_records:
+                if set(record.alpn or ()) & set(GOOGLE_QUIC_VERSIONS):
+                    return day
+    return None
+
+
+def nexuspipe_port_scheme(dataset: Dataset) -> Dict[str, List[Tuple[int, Optional[int]]]]:
+    """The Appendix-E.1 geo-routing scheme: every priority 1..12 mapped to
+    its own port, shared TargetName."""
+    result = census(dataset)
+    return {
+        name: pairs
+        for name, pairs in result.multi_priority_domains.items()
+        if len(pairs) >= 10
+    }

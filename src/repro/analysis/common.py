@@ -1,0 +1,96 @@
+"""Shared helpers for the §4 analyses."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..scanner.dataset import DailySnapshot, Dataset
+from ..scanner.records import DomainObservation
+
+CLOUDFLARE_NS_SUFFIXES = ("ns.cloudflare.com",)
+CLOUDFLARE_CN_SUFFIXES = ("cf-ns.com", "cf-ns.net")
+CLOUDFLARE_ORGS = ("Cloudflare, Inc.", "Cloudflare China Network (CAPG)")
+
+# NS classification (Table 2 rows).
+NS_FULL_CLOUDFLARE = "full"
+NS_NONE_CLOUDFLARE = "none"
+NS_PARTIAL_CLOUDFLARE = "partial"
+
+
+def ns_is_cloudflare(hostname: str) -> bool:
+    hostname = hostname.rstrip(".").lower()
+    return any(
+        hostname == suffix or hostname.endswith("." + suffix)
+        for suffix in CLOUDFLARE_NS_SUFFIXES + CLOUDFLARE_CN_SUFFIXES
+    )
+
+
+def classify_ns_set(ns_names: Iterable[str]) -> Optional[str]:
+    """Full / partial / none Cloudflare (None when no NS data)."""
+    ns_names = list(ns_names)
+    if not ns_names:
+        return None
+    flags = [ns_is_cloudflare(ns) for ns in ns_names]
+    if all(flags):
+        return NS_FULL_CLOUDFLARE
+    if not any(flags):
+        return NS_NONE_CLOUDFLARE
+    return NS_PARTIAL_CLOUDFLARE
+
+
+def ns_org(snapshot: DailySnapshot, hostname: str) -> Optional[str]:
+    """WHOIS org of a name server, from that day's NS scan."""
+    observation = snapshot.ns_observations.get(hostname)
+    return observation.whois_org if observation is not None else None
+
+
+def provider_orgs_of(snapshot: DailySnapshot, observation: DomainObservation) -> List[str]:
+    """All (deduplicated) NS operator orgs of a domain on a day, using
+    WHOIS where available and hostname heuristics otherwise."""
+    orgs = []
+    for hostname in observation.ns_names:
+        org = ns_org(snapshot, hostname)
+        if org is None:
+            org = "Cloudflare, Inc." if ns_is_cloudflare(hostname) else _org_from_hostname(hostname)
+        if org not in orgs:
+            orgs.append(org)
+    return orgs
+
+
+def _org_from_hostname(hostname: str) -> str:
+    """Fallback attribution from the NS hostname's registered domain."""
+    labels = hostname.rstrip(".").split(".")
+    if len(labels) >= 2:
+        return ".".join(labels[-2:])
+    return hostname
+
+
+def series(
+    dataset: Dataset,
+    value_of,
+    start: Optional[datetime.date] = None,
+    end: Optional[datetime.date] = None,
+) -> List[Tuple[datetime.date, float]]:
+    """Evaluate ``value_of(snapshot)`` over the dataset's days."""
+    return [
+        (day, value_of(dataset.snapshot(day)))
+        for day in dataset.days_between(start, end)
+    ]
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Iterable[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return (sum((v - mu) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def restrict(observations: Dict[str, DomainObservation], names: FrozenSet[str]) -> Dict[str, DomainObservation]:
+    return {name: obs for name, obs in observations.items() if name in names}

@@ -1,0 +1,141 @@
+"""§4.5 — HTTPS RR and DNSSEC (Figure 5, Table 9, registrar congruence)."""
+
+from __future__ import annotations
+
+import datetime
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet import timeline
+from ..simnet.providers import PROVIDERS
+from ..scanner.dataset import Dataset
+from .common import classify_ns_set, mean, ns_is_cloudflare, NS_FULL_CLOUDFLARE
+
+
+@dataclass
+class SignedSeriesPoint:
+    date: datetime.date
+    signed_pct: float  # HTTPS RRsets with covering RRSIG
+    validated_pct: float  # … and AD set by the validating resolver
+
+
+def fig5_signed_series(
+    dataset: Dataset, kind: str = "apex", overlapping_only: bool = False
+) -> List[SignedSeriesPoint]:
+    """Figure 5: share of HTTPS records that are signed / validated."""
+    overlap = (
+        dataset.overlapping_domains(1) | dataset.overlapping_domains(2)
+        if overlapping_only
+        else None
+    )
+    points = []
+    for day in dataset.days():
+        snapshot = dataset.snapshot(day)
+        observations = snapshot.apex if kind == "apex" else snapshot.www
+        selected = [
+            obs for name, obs in observations.items()
+            if overlap is None or (name[4:] if kind == "www" else name) in overlap
+        ]
+        if not selected:
+            continue
+        total = len(selected)
+        signed = sum(1 for obs in selected if obs.rrsig_present)
+        validated = sum(1 for obs in selected if obs.rrsig_present and obs.ad_flag)
+        points.append(
+            SignedSeriesPoint(day, 100.0 * signed / total, 100.0 * validated / total)
+        )
+    return points
+
+
+@dataclass
+class Table9Row:
+    category: str
+    signed: int
+    secure: int
+    insecure: int
+
+    @property
+    def secure_pct(self) -> float:
+        return 100.0 * self.secure / max(1, self.signed)
+
+    @property
+    def insecure_pct(self) -> float:
+        return 100.0 * self.insecure / max(1, self.signed)
+
+
+def table9_validation(dataset: Dataset) -> List[Table9Row]:
+    """Table 9: DNSSEC validation of signed domains on the snapshot day,
+    split by HTTPS RR publication and (for publishers) by NS operator."""
+    rows = {
+        "without HTTPS RR": Table9Row("without HTTPS RR", 0, 0, 0),
+        "with HTTPS RR": Table9Row("with HTTPS RR", 0, 0, 0),
+        "- Cloudflare": Table9Row("- Cloudflare", 0, 0, 0),
+        "- Non-Cloudflare": Table9Row("- Non-Cloudflare", 0, 0, 0),
+    }
+    for name, entry in dataset.dnssec_snapshot.items():
+        has_https, signed, state, ns_names, _registrar, provider_key = entry
+        if not signed:
+            continue
+        group = rows["with HTTPS RR"] if has_https else rows["without HTTPS RR"]
+        group.signed += 1
+        secure = state == "secure"
+        if secure:
+            group.secure += 1
+        elif state == "insecure":
+            group.insecure += 1
+        if has_https:
+            if ns_names:
+                is_cf = classify_ns_set(ns_names) == NS_FULL_CLOUDFLARE
+            else:
+                is_cf = provider_key in ("cloudflare", "cfns")
+            sub = rows["- Cloudflare"] if is_cf else rows["- Non-Cloudflare"]
+            sub.signed += 1
+            if secure:
+                sub.secure += 1
+            elif state == "insecure":
+                sub.insecure += 1
+    return list(rows.values())
+
+
+@dataclass
+class RegistrarCongruence:
+    """§4.5.1 / Appendix G: do signed HTTPS domains use the same
+    organisation as DNS operator and registrar?"""
+
+    signed_https_domains: int
+    congruent: int
+
+    @property
+    def congruent_pct(self) -> float:
+        return 100.0 * self.congruent / max(1, self.signed_https_domains)
+
+
+def registrar_congruence(dataset: Dataset) -> RegistrarCongruence:
+    signed = congruent = 0
+    for name, entry in dataset.dnssec_snapshot.items():
+        has_https, is_signed, _state, _ns_names, registrar, provider_key = entry
+        if not (has_https and is_signed):
+            continue
+        signed += 1
+        provider = PROVIDERS.get(provider_key)
+        if provider is not None and registrar in provider.registrar_names:
+            congruent += 1
+    return RegistrarCongruence(signed, congruent)
+
+
+def ech_dnssec_overlap(dataset: Dataset) -> Tuple[float, float]:
+    """§4.5.2: among pre-disable ECH domains, the mean signed share and
+    the mean validated share (both small — <6% / ~half of that)."""
+    signed_shares, validated_shares = [], []
+    for day in dataset.days_between(end=timeline.ECH_DISABLE - datetime.timedelta(days=1)):
+        snapshot = dataset.snapshot(day)
+        ech_domains = [obs for obs in snapshot.apex.values() if obs.has_ech]
+        if not ech_domains:
+            continue
+        total = len(ech_domains)
+        signed = sum(1 for obs in ech_domains if obs.rrsig_present)
+        validated = sum(1 for obs in ech_domains if obs.rrsig_present and obs.ad_flag)
+        signed_shares.append(100.0 * signed / total)
+        validated_shares.append(100.0 * validated / total)
+    return mean(signed_shares), mean(validated_shares)

@@ -1,0 +1,182 @@
+"""§4.4 — ECH deployment: adoption series, the October 5 disable event,
+and key-rotation cadence (Figures 4, 13, 14)."""
+
+from __future__ import annotations
+
+import datetime
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet import timeline
+from ..simnet.cohorts import ECH_TEST_DOMAINS
+from ..scanner.dataset import Dataset
+from .common import mean
+
+
+def fig13_ech_share(dataset: Dataset, kind: str = "apex") -> List[Tuple[datetime.date, float]]:
+    """Figure 13: % of overlapping HTTPS-publishing domains with the ech
+    SvcParam, excluding Cloudflare's test domains (footnote 10)."""
+    overlap = dataset.overlapping_domains(1) | dataset.overlapping_domains(2)
+    points = []
+    for day in dataset.days():
+        snapshot = dataset.snapshot(day)
+        observations = snapshot.apex if kind == "apex" else snapshot.www
+        selected = {
+            name: obs for name, obs in observations.items()
+            if (name[4:] if kind == "www" else name) in overlap
+        }
+        if not selected:
+            continue
+        with_ech = sum(
+            1 for name, obs in selected.items()
+            if obs.has_ech and (name[4:] if kind == "www" else name) not in ECH_TEST_DOMAINS
+        )
+        points.append((day, 100.0 * with_ech / len(selected)))
+    return points
+
+
+@dataclass
+class EchDisableEvent:
+    """The October 5 cliff."""
+
+    last_day_with_ech: Optional[datetime.date]
+    first_day_without: Optional[datetime.date]
+    pre_disable_mean_pct: float
+    post_disable_max_pct: float
+
+    @property
+    def matches_paper(self) -> bool:
+        """Cliff lands on the paper's date and the post level is ~0."""
+        if self.first_day_without is None:
+            return False
+        return (
+            self.first_day_without >= timeline.ECH_DISABLE
+            and self.post_disable_max_pct < 1.0
+            and self.pre_disable_mean_pct > 40.0
+        )
+
+
+def detect_disable_event(dataset: Dataset) -> EchDisableEvent:
+    points = fig13_ech_share(dataset)
+    last_with = first_without = None
+    pre, post = [], []
+    for day, pct in points:
+        if day < timeline.ECH_DISABLE:
+            pre.append(pct)
+        else:
+            post.append(pct)
+        if pct > 1.0:
+            last_with = day
+        elif first_without is None and pct <= 1.0:
+            first_without = day
+    return EchDisableEvent(
+        last_day_with_ech=last_with,
+        first_day_without=first_without,
+        pre_disable_mean_pct=mean(pre),
+        post_disable_max_pct=max(post) if post else 0.0,
+    )
+
+
+@dataclass
+class RotationStats:
+    """Figure 4 + §4.4.2 rotation facts."""
+
+    distinct_configs: int
+    public_names: Tuple[str, ...]
+    sightings_histogram: Dict[int, int]  # consecutive-hour count -> #configs
+    per_domain_mean_hours: Dict[str, float]
+    overall_mean_hours: float
+
+
+def fig4_rotation(dataset: Dataset) -> RotationStats:
+    """Key-rotation cadence from the hourly ECH scans.
+
+    A config's 'duration' is the number of consecutive hourly scans in
+    which a domain served it; the paper reports per-domain averages of
+    1.1–1.4 h with an overall mean of 1.26 h.
+    """
+    per_domain_runs: Dict[str, List[int]] = defaultdict(list)
+    configs_global: Dict[bytes, set] = defaultdict(set)
+    public_names = set()
+    by_domain: Dict[str, List] = defaultdict(list)
+    for obs in dataset.ech_observations:
+        by_domain[obs.name].append(obs)
+        configs_global[obs.config_digest].add(obs.hour)
+        if obs.public_name:
+            public_names.add(obs.public_name)
+    for name, observations in by_domain.items():
+        observations.sort(key=lambda o: o.hour)
+        run = 0
+        previous_digest = None
+        previous_hour = None
+        for obs in observations:
+            contiguous = previous_hour is None or obs.hour == previous_hour + 1
+            if obs.config_digest == previous_digest and contiguous:
+                run += 1
+            else:
+                if run:
+                    per_domain_runs[name].append(run)
+                run = 1
+            previous_digest = obs.config_digest
+            previous_hour = obs.hour
+        if run:
+            per_domain_runs[name].append(run)
+    histogram: Dict[int, int] = defaultdict(int)
+    for digest, hours in configs_global.items():
+        ordered = sorted(hours)
+        run = 0
+        previous = None
+        for hour in ordered:
+            if previous is not None and hour == previous + 1:
+                run += 1
+            else:
+                if run:
+                    histogram[run] += 1
+                run = 1
+            previous = hour
+        if run:
+            histogram[run] += 1
+    per_domain_mean = {
+        name: mean(runs) for name, runs in per_domain_runs.items() if runs
+    }
+    return RotationStats(
+        distinct_configs=len(configs_global),
+        public_names=tuple(sorted(public_names)),
+        sightings_histogram=dict(histogram),
+        per_domain_mean_hours=per_domain_mean,
+        overall_mean_hours=mean(per_domain_mean.values()),
+    )
+
+
+def fig14_signed_ech_share(dataset: Dataset) -> List[Tuple[datetime.date, float, float]]:
+    """Figure 14: among overlapping domains with HTTPS+ECH, the share
+    whose records are signed, and the share also validating (AD)."""
+    overlap = dataset.overlapping_domains(1) | dataset.overlapping_domains(2)
+    points = []
+    for day in dataset.days():
+        snapshot = dataset.snapshot(day)
+        ech_domains = [
+            obs for name, obs in snapshot.apex.items()
+            if name in overlap and obs.has_ech and name not in ECH_TEST_DOMAINS
+        ]
+        if not ech_domains:
+            points.append((day, 0.0, 0.0))
+            continue
+        signed = sum(1 for obs in ech_domains if obs.rrsig_present)
+        validated = sum(1 for obs in ech_domains if obs.rrsig_present and obs.ad_flag)
+        total = len(ech_domains)
+        points.append((day, 100.0 * signed / total, 100.0 * validated / total))
+    return points
+
+
+def noncf_ech_targets(dataset: Dataset) -> Dict[str, int]:
+    """§4.4.1: all ECH configs point at the same client-facing server
+    regardless of DNS provider — count sightings per public_name."""
+    counts: Dict[str, int] = defaultdict(int)
+    for day in dataset.days():
+        for obs in dataset.snapshot(day).apex.values():
+            for record in obs.https_records:
+                if record.has_ech and record.ech_public_name:
+                    counts[record.ech_public_name] += 1
+    return dict(counts)

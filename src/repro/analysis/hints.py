@@ -1,0 +1,148 @@
+"""§4.3.5 — IP hints: utilization, consistency, durations, connectivity
+(Figures 11–12 and the connectivity experiment)."""
+
+from __future__ import annotations
+
+import datetime
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet import timeline
+from ..scanner.dataset import Dataset
+from .common import mean
+
+
+@dataclass
+class HintSeriesPoint:
+    date: datetime.date
+    ipv4_usage_pct: float  # share of HTTPS domains publishing ipv4hint
+    ipv6_usage_pct: float
+    ipv4_match_pct: float  # among hint publishers, hints == A records
+    ipv6_match_pct: float
+
+
+def fig11_hint_series(dataset: Dataset, kind: str = "apex") -> List[HintSeriesPoint]:
+    """Figure 11: hint utilization and A/AAAA-consistency over time,
+    restricted to overlapping domains like the paper."""
+    overlap = dataset.overlapping_domains(1) | dataset.overlapping_domains(2)
+    points = []
+    for day in dataset.days():
+        snapshot = dataset.snapshot(day)
+        observations = snapshot.apex if kind == "apex" else snapshot.www
+        selected = [
+            obs for name, obs in observations.items()
+            if (name[4:] if kind == "www" else name) in overlap
+        ]
+        if not selected:
+            continue
+        total = len(selected)
+        v4_users = [obs for obs in selected if obs.all_ipv4_hints()]
+        v6_users = [obs for obs in selected if obs.all_ipv6_hints()]
+        v4_match = [
+            obs for obs in v4_users
+            if obs.a_addrs and set(obs.all_ipv4_hints()) == set(obs.a_addrs)
+        ]
+        v6_match = [
+            obs for obs in v6_users
+            if obs.aaaa_addrs and set(obs.all_ipv6_hints()) == set(obs.aaaa_addrs)
+        ]
+        points.append(
+            HintSeriesPoint(
+                date=day,
+                ipv4_usage_pct=100.0 * len(v4_users) / total,
+                ipv6_usage_pct=100.0 * len(v6_users) / total,
+                ipv4_match_pct=100.0 * len(v4_match) / max(1, len(v4_users)),
+                ipv6_match_pct=100.0 * len(v6_match) / max(1, len(v6_users)),
+            )
+        )
+    return points
+
+
+@dataclass
+class MismatchDurations:
+    """Figure 12 + §4.3.5 headline numbers."""
+
+    domains_with_mismatch: int
+    mean_duration_days: float
+    durations: List[int]  # one entry per mismatch episode, in days
+    persistent_domains: List[str]  # mismatched on every scan day
+
+
+def fig12_mismatch_durations(
+    dataset: Dataset, kind: str = "apex", start: Optional[datetime.date] = None
+) -> MismatchDurations:
+    """Mismatch episode durations from *start* (default: the June 19
+    sync-fix date, as in the paper's Figure 12)."""
+    start = start or timeline.HINT_SYNC_FIX
+    days = dataset.days_between(start)
+    step = max(1, dataset.day_step)
+    mismatch_flags: Dict[str, List[bool]] = defaultdict(lambda: [False] * len(days))
+    for i, day in enumerate(days):
+        snapshot = dataset.snapshot(day)
+        observations = snapshot.apex if kind == "apex" else snapshot.www
+        for name, obs in observations.items():
+            hints = obs.all_ipv4_hints()
+            if hints and obs.a_addrs and set(hints) != set(obs.a_addrs):
+                mismatch_flags[name][i] = True
+    durations: List[int] = []
+    persistent: List[str] = []
+    for name, flags in mismatch_flags.items():
+        if all(flags):
+            persistent.append(name)
+        run = 0
+        for flag in flags + [False]:
+            if flag:
+                run += 1
+            elif run:
+                durations.append(run * step)
+                run = 0
+    return MismatchDurations(
+        domains_with_mismatch=len(mismatch_flags),
+        mean_duration_days=mean(durations),
+        durations=sorted(durations),
+        persistent_domains=sorted(persistent),
+    )
+
+
+@dataclass
+class ConnectivityReport:
+    """§4.3.5 connectivity experiment (Jan 24 – Mar 31, 2024)."""
+
+    occurrences: int  # domain-days with mismatched hints
+    distinct_domains: int
+    domains_with_unreachable: int
+    hint_only_reachable: int
+    a_only_reachable: int
+    neither_reachable: int
+
+
+def connectivity_report(dataset: Dataset) -> ConnectivityReport:
+    probes = [
+        probe
+        for day in dataset.days_between(timeline.CONNECTIVITY_SCAN_START)
+        for probe in dataset.snapshot(day).connectivity
+    ]
+    by_domain: Dict[str, List] = defaultdict(list)
+    for probe in probes:
+        by_domain[probe.name].append(probe)
+    unreachable = hint_only = a_only = neither = 0
+    for name, domain_probes in by_domain.items():
+        if not any(p.any_unreachable for p in domain_probes):
+            continue
+        unreachable += 1
+        last = domain_probes[-1]
+        if last.hint_reachable and not last.a_reachable:
+            hint_only += 1
+        elif last.a_reachable and not last.hint_reachable:
+            a_only += 1
+        elif not last.a_reachable and not last.hint_reachable:
+            neither += 1
+    return ConnectivityReport(
+        occurrences=len(probes),
+        distinct_domains=len(by_domain),
+        domains_with_unreachable=unreachable,
+        hint_only_reachable=hint_only,
+        a_only_reachable=a_only,
+        neither_reachable=neither,
+    )

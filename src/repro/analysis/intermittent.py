@@ -1,0 +1,160 @@
+"""§4.2.3 — inconsistent (intermittent) use of HTTPS records.
+
+Finds domains whose HTTPS record comes and goes during the NS window and
+attributes the intermittency: same name servers throughout (Cloudflare
+proxied-toggle vs non-Cloudflare), multiple providers with uneven HTTPS
+support, name-server changes away from Cloudflare, and deactivations
+with missing NS records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..simnet import timeline
+from ..scanner.dataset import Dataset
+from .common import classify_ns_set, ns_is_cloudflare, NS_FULL_CLOUDFLARE
+
+
+@dataclass
+class IntermittencyReport:
+    """The §4.2.3 breakdown."""
+
+    intermittent_domains: int
+    same_ns_domains: int
+    same_ns_cloudflare_only: int
+    same_ns_other: int
+    mixed_ns_on_deactivation: int
+    lost_on_ns_change: int
+    missing_ns_on_deactivation: int
+
+    @property
+    def same_ns_cloudflare_share(self) -> float:
+        return self.same_ns_cloudflare_only / max(1, self.same_ns_domains)
+
+
+def analyze_intermittency(dataset: Dataset) -> IntermittencyReport:
+    """Classify every intermittently-publishing apex in the NS window."""
+    days = dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START)
+    presence: Dict[str, List[bool]] = defaultdict(list)
+    ns_history: Dict[str, List[Tuple[str, ...]]] = defaultdict(list)
+    listed_history: Dict[str, List[bool]] = defaultdict(list)
+
+    # Only domains listed on every window day are classifiable (otherwise
+    # absence from the list masquerades as deactivation).
+    window_names: Set[str] = set()
+    for day in days:
+        window_names.update(dataset.snapshot(day).ranked_names)
+    always_listed = set(window_names)
+    for day in days:
+        names = set(dataset.snapshot(day).ranked_names)
+        always_listed &= names
+
+    # During active phases NS comes from the scan's follow-up queries;
+    # during inactive phases from the deactivation watchlist (§4.2.3).
+    inactive_ns: Dict[str, List[Tuple[str, ...]]] = defaultdict(list)
+    saw_no_ns: Dict[str, bool] = defaultdict(bool)
+    for day in days:
+        snapshot = dataset.snapshot(day)
+        for name in always_listed:
+            obs = snapshot.apex.get(name)
+            has = obs is not None
+            presence[name].append(has)
+            if has:
+                ns_history[name].append(obs.ns_names)
+            else:
+                watched = snapshot.watchlist_ns.get(name)
+                ns_history[name].append(watched if watched else ())
+                if watched is not None:
+                    if watched:
+                        inactive_ns[name].append(watched)
+                    else:
+                        saw_no_ns[name] = True
+
+    report_counts = dict(
+        intermittent_domains=0,
+        same_ns_domains=0,
+        same_ns_cloudflare_only=0,
+        same_ns_other=0,
+        mixed_ns_on_deactivation=0,
+        lost_on_ns_change=0,
+        missing_ns_on_deactivation=0,
+    )
+
+    for name, flags in presence.items():
+        if all(flags) or not any(flags):
+            continue
+        report_counts["intermittent_domains"] += 1
+        active_ns = {
+            ns for ns, has in zip(ns_history[name], flags) if has and ns
+        }
+        if not active_ns:
+            continue
+        active_all_cf = all(
+            classify_ns_set(ns) == NS_FULL_CLOUDFLARE for ns in active_ns
+        )
+        if saw_no_ns[name] and not inactive_ns[name]:
+            # The domain's NS records vanished when it deactivated.
+            report_counts["missing_ns_on_deactivation"] += 1
+            continue
+        off_ns = set(inactive_ns[name])
+        if not off_ns or off_ns <= active_ns:
+            # Same name servers throughout activation and deactivation.
+            report_counts["same_ns_domains"] += 1
+            if active_all_cf:
+                report_counts["same_ns_cloudflare_only"] += 1
+            else:
+                report_counts["same_ns_other"] += 1
+            continue
+        # NS differ between active and inactive phases.
+        off_has_noncf = any(
+            classify_ns_set(ns) != NS_FULL_CLOUDFLARE for ns in off_ns
+        )
+        last_active_index = max(i for i, has in enumerate(flags) if has)
+        never_reactivated = last_active_index < len(flags) - 1
+        if active_all_cf and off_has_noncf and never_reactivated:
+            report_counts["lost_on_ns_change"] += 1
+        elif active_all_cf and off_has_noncf:
+            report_counts["mixed_ns_on_deactivation"] += 1
+        else:
+            report_counts["same_ns_domains"] += 1
+            report_counts["same_ns_cloudflare_only"] += int(active_all_cf)
+            report_counts["same_ns_other"] += int(not active_all_cf)
+    return IntermittencyReport(**report_counts)
+
+
+def direct_authoritative_check(world, dataset: Dataset) -> Dict[str, dict]:
+    """The paper's supplementary experiment: query each intermittent
+    domain's authoritative servers directly and compare how many return
+    the HTTPS record (mixed-provider detection)."""
+    from ..dnscore import rdtypes
+    from ..dnscore.message import Message
+
+    results: Dict[str, dict] = {}
+    days = dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START)
+    if not days:
+        return results
+    last_day = days[-1]
+    snapshot = dataset.snapshot(last_day)
+    for name, obs in snapshot.apex.items():
+        if len(set(obs.ns_names)) < 2:
+            continue
+        profile = world.profile_by_name(name)
+        if profile is None or profile.secondary_provider_key is None:
+            continue
+        answers = {}
+        for hostname in obs.ns_names:
+            ns_obs = snapshot.ns_observations.get(hostname)
+            if ns_obs is None or not ns_obs.ips:
+                continue
+            query = Message.make_query(profile.apex, rdtypes.HTTPS)
+            try:
+                response = world.network.send_dns_query(ns_obs.ips[0], query)
+            except Exception:
+                continue
+            answers[hostname] = response.get_answer(profile.apex, rdtypes.HTTPS) is not None
+        if answers and len(set(answers.values())) > 1:
+            results[name] = answers
+    return results

@@ -1,0 +1,158 @@
+"""§4.2.2 — name servers of HTTPS-publishing domains.
+
+Reproduces Table 2 (Cloudflare vs non-Cloudflare NS shares), Table 3
+(top non-Cloudflare DNS providers), Figure 3 (daily count of distinct
+non-Cloudflare providers), Figure 9 (ranks of non-Cloudflare apexes),
+and Figure 10 (daily count of non-Cloudflare HTTPS domains).
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet import timeline
+from ..scanner.dataset import Dataset
+from .common import (
+    CLOUDFLARE_ORGS,
+    NS_FULL_CLOUDFLARE,
+    NS_NONE_CLOUDFLARE,
+    NS_PARTIAL_CLOUDFLARE,
+    classify_ns_set,
+    mean,
+    provider_orgs_of,
+    stdev,
+)
+
+
+@dataclass
+class NsShareStats:
+    """One column of Table 2."""
+
+    full_mean_pct: float
+    full_std: float
+    none_mean_pct: float
+    none_std: float
+    partial_mean_pct: float
+    partial_std: float
+
+
+def _daily_shares(dataset: Dataset, restrict_names=None) -> Dict[str, List[float]]:
+    shares: Dict[str, List[float]] = {k: [] for k in (NS_FULL_CLOUDFLARE, NS_NONE_CLOUDFLARE, NS_PARTIAL_CLOUDFLARE)}
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        counts = Counter()
+        total = 0
+        for name, obs in snapshot.apex.items():
+            if restrict_names is not None and name not in restrict_names:
+                continue
+            category = classify_ns_set(obs.ns_names)
+            if category is None:
+                continue
+            counts[category] += 1
+            total += 1
+        if total == 0:
+            continue
+        for key in shares:
+            shares[key].append(100.0 * counts[key] / total)
+    return shares
+
+
+def table2_ns_shares(dataset: Dataset, overlapping_only: bool = False) -> NsShareStats:
+    """Table 2: mean/std of the daily Cloudflare-NS share among apex
+    domains with HTTPS records (NS-scan window)."""
+    restrict_names = dataset.overlapping_domains(2) if overlapping_only else None
+    shares = _daily_shares(dataset, restrict_names)
+    return NsShareStats(
+        full_mean_pct=mean(shares[NS_FULL_CLOUDFLARE]),
+        full_std=stdev(shares[NS_FULL_CLOUDFLARE]),
+        none_mean_pct=mean(shares[NS_NONE_CLOUDFLARE]),
+        none_std=stdev(shares[NS_NONE_CLOUDFLARE]),
+        partial_mean_pct=mean(shares[NS_PARTIAL_CLOUDFLARE]),
+        partial_std=stdev(shares[NS_PARTIAL_CLOUDFLARE]),
+    )
+
+
+def table3_top_noncf_providers(
+    dataset: Dataset, overlapping_only: bool = False, top: int = 10
+) -> List[Tuple[str, int]]:
+    """Table 3: top non-Cloudflare DNS providers by the number of distinct
+    apex domains (with HTTPS RR) they served during the NS window."""
+    restrict_names = dataset.overlapping_domains(2) if overlapping_only else None
+    domains_by_org: Dict[str, set] = defaultdict(set)
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        for name, obs in snapshot.apex.items():
+            if restrict_names is not None and name not in restrict_names:
+                continue
+            if classify_ns_set(obs.ns_names) != NS_NONE_CLOUDFLARE:
+                continue
+            for org in provider_orgs_of(snapshot, obs):
+                if org not in CLOUDFLARE_ORGS:
+                    domains_by_org[org].add(name)
+    ranked = sorted(domains_by_org.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+    return [(org, len(names)) for org, names in ranked[:top]]
+
+
+def fig3_noncf_provider_counts(dataset: Dataset) -> List[Tuple[datetime.date, int]]:
+    """Figure 3: daily number of distinct non-Cloudflare DNS providers
+    serving HTTPS-publishing apex domains."""
+    points = []
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        orgs = set()
+        for obs in snapshot.apex.values():
+            if classify_ns_set(obs.ns_names) != NS_NONE_CLOUDFLARE:
+                continue
+            orgs.update(
+                org for org in provider_orgs_of(snapshot, obs) if org not in CLOUDFLARE_ORGS
+            )
+        points.append((day, len(orgs)))
+    return points
+
+
+def fig10_noncf_domain_counts(dataset: Dataset) -> List[Tuple[datetime.date, int]]:
+    """Figure 10: daily number of apex domains that both publish HTTPS
+    records and use non-Cloudflare name servers."""
+    points = []
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        count = sum(
+            1
+            for obs in snapshot.apex.values()
+            if classify_ns_set(obs.ns_names) == NS_NONE_CLOUDFLARE
+        )
+        points.append((day, count))
+    return points
+
+
+def fig9_noncf_ranks(dataset: Dataset) -> List[Tuple[str, float]]:
+    """Figure 9: mean daily rank of each apex that used non-Cloudflare
+    name servers while publishing HTTPS records."""
+    ranks: Dict[str, List[int]] = defaultdict(list)
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        rank_index = {name: i + 1 for i, name in enumerate(snapshot.ranked_names)}
+        for name, obs in snapshot.apex.items():
+            if classify_ns_set(obs.ns_names) == NS_NONE_CLOUDFLARE and name in rank_index:
+                ranks[name].append(rank_index[name])
+    return sorted(
+        ((name, mean(values)) for name, values in ranks.items()), key=lambda kv: kv[1]
+    )
+
+
+def distinct_noncf_provider_count(dataset: Dataset) -> int:
+    """Total distinct non-Cloudflare providers over the whole NS window
+    (paper: 244 dynamic / 201 overlapping at full scale)."""
+    orgs = set()
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        for obs in snapshot.apex.values():
+            if classify_ns_set(obs.ns_names) != NS_NONE_CLOUDFLARE:
+                continue
+            orgs.update(
+                org for org in provider_orgs_of(snapshot, obs) if org not in CLOUDFLARE_ORGS
+            )
+    return len(orgs)

@@ -1,0 +1,236 @@
+"""§4.3 — HTTPS RR parameter analyses (Tables 4, 5, 8; §4.3.3–4.3.4)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet import timeline
+from ..scanner.dataset import Dataset
+from ..scanner.records import DomainObservation, HttpsRecordView
+from ..svcb.params import ALPN_H2, ALPN_H3, ALPN_H3_27, ALPN_H3_29, ALPN_HTTP11
+from .common import classify_ns_set, mean, ns_org, NS_FULL_CLOUDFLARE, NS_NONE_CLOUDFLARE
+
+
+def looks_like_cloudflare_default(record: HttpsRecordView) -> bool:
+    """Does a record match Cloudflare's default proxied configuration?
+
+    ``1 . alpn=h2,h3[,…] ipv4hint=… [ipv6hint=…] [ech=…]`` — §4.3.1.
+    """
+    if record.priority != 1 or record.target != ".":
+        return False
+    alpn = set(record.alpn or ())
+    if ALPN_H2 not in alpn or ALPN_H3 not in alpn:
+        return False
+    return bool(record.ipv4hints)
+
+
+@dataclass
+class DefaultVsCustom:
+    """Table 4."""
+
+    default_pct: float
+    customized_pct: float
+    sample_days: int
+
+
+def table4_default_vs_custom(dataset: Dataset, overlapping_only: bool = False) -> DefaultVsCustom:
+    """Table 4: among domains on Cloudflare NS, the daily-average share
+    whose HTTPS record matches the default configuration."""
+    restrict = dataset.overlapping_domains(2) if overlapping_only else None
+    daily_default: List[float] = []
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        default = total = 0
+        for name, obs in snapshot.apex.items():
+            if restrict is not None and name not in restrict:
+                continue
+            if classify_ns_set(obs.ns_names) != NS_FULL_CLOUDFLARE:
+                continue
+            total += 1
+            if any(looks_like_cloudflare_default(r) for r in obs.https_records):
+                default += 1
+        if total:
+            daily_default.append(100.0 * default / total)
+    default_pct = mean(daily_default)
+    return DefaultVsCustom(default_pct, 100.0 - default_pct, len(daily_default))
+
+
+@dataclass
+class ProviderConfigProfile:
+    """One column of Table 5."""
+
+    provider_org: str
+    domain_count: int
+    top_priority: Tuple[int, float]  # (value, share%)
+    alias_share_pct: float
+    self_target_share_pct: float
+    empty_alpn_share_pct: float
+    empty_ipv4hint_share_pct: float
+    empty_ipv6hint_share_pct: float
+
+
+def table5_provider_profiles(dataset: Dataset, orgs: Tuple[str, ...] = ("Google LLC", "GoDaddy.com, LLC")) -> List[ProviderConfigProfile]:
+    """Table 5: common HTTPS configurations per (non-Cloudflare) provider."""
+    per_org_domains: Dict[str, Dict[str, DomainObservation]] = defaultdict(dict)
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        for name, obs in snapshot.apex.items():
+            for hostname in obs.ns_names:
+                org = ns_org(snapshot, hostname)
+                if org in orgs:
+                    per_org_domains[org][name] = obs
+                    break
+    profiles = []
+    for org in orgs:
+        observations = list(per_org_domains.get(org, {}).values())
+        if not observations:
+            profiles.append(ProviderConfigProfile(org, 0, (1, 0.0), 0.0, 0.0, 0.0, 0.0, 0.0))
+            continue
+        records = [obs.https_records[0] for obs in observations if obs.https_records]
+        total = len(records)
+        priorities = Counter(record.priority for record in records)
+        top_value, top_count = priorities.most_common(1)[0]
+        profiles.append(
+            ProviderConfigProfile(
+                provider_org=org,
+                domain_count=total,
+                top_priority=(top_value, 100.0 * top_count / total),
+                alias_share_pct=100.0 * sum(r.is_alias_mode for r in records) / total,
+                self_target_share_pct=100.0 * sum(r.target == "." for r in records) / total,
+                empty_alpn_share_pct=100.0 * sum(not r.alpn for r in records) / total,
+                empty_ipv4hint_share_pct=100.0 * sum(not r.ipv4hints for r in records) / total,
+                empty_ipv6hint_share_pct=100.0 * sum(not r.ipv6hints for r in records) / total,
+            )
+        )
+    return profiles
+
+
+@dataclass
+class PriorityTargetStats:
+    """§4.3.3 / Appendix E.1."""
+
+    service_mode_share_pct: float  # SvcPriority >= 1
+    priority_one_share_pct: float
+    alias_mode_count: int
+    alias_self_target_count: int  # "0 ." — no true alias
+    service_empty_params_count: int  # ServiceMode with no SvcParams
+    ip_or_url_target_count: int  # nonstandard TargetName values
+    multi_priority_domains: int  # nexuspipe-style records
+
+
+def priority_target_stats(dataset: Dataset) -> PriorityTargetStats:
+    days = dataset.days()
+    last = dataset.snapshot(days[-1])
+    service = one = alias = alias_self = empty = weird_target = multi = 0
+    total = 0
+    for obs in last.apex.values():
+        if not obs.https_records:
+            continue
+        total += 1
+        priorities = {record.priority for record in obs.https_records}
+        if len(obs.https_records) > 1 and len(priorities) > 1:
+            multi += 1
+        record = obs.https_records[0]
+        if record.is_service_mode:
+            service += 1
+            if record.priority == 1:
+                one += 1
+            if not record.has_params:
+                empty += 1
+        else:
+            alias += 1
+            if record.target == ".":
+                alias_self += 1
+        target = record.target.rstrip(".")
+        if target.replace(".", "").isdigit() or target.startswith("https://"):
+            weird_target += 1
+    return PriorityTargetStats(
+        service_mode_share_pct=100.0 * service / max(1, total),
+        priority_one_share_pct=100.0 * one / max(1, total),
+        alias_mode_count=alias,
+        alias_self_target_count=alias_self,
+        service_empty_params_count=empty,
+        ip_or_url_target_count=weird_target,
+        multi_priority_domains=multi,
+    )
+
+
+@dataclass
+class AlpnStats:
+    """Table 8: daily-average protocol shares among overlapping domains
+    with HTTPS RR."""
+
+    h2_pct: float
+    h3_pct: float
+    h3_29_before_pct: float  # before May 31, 2023
+    h3_29_after_pct: float
+    h3_27_pct: float
+    http11_pct: float
+    no_alpn_pct: float
+
+
+def _alpn_day_share(snapshot, names, protocol: Optional[str], kind: str = "apex") -> float:
+    observations = snapshot.apex if kind == "apex" else snapshot.www
+    selected = [
+        obs for name, obs in observations.items()
+        if (name[4:] if kind == "www" else name) in names
+    ] if names is not None else list(observations.values())
+    if not selected:
+        return 0.0
+    if protocol is None:
+        hits = sum(1 for obs in selected if all(not r.alpn for r in obs.https_records))
+    else:
+        hits = sum(
+            1 for obs in selected
+            if any(protocol in (r.alpn or ()) for r in obs.https_records)
+        )
+    return 100.0 * hits / len(selected)
+
+
+def table8_alpn(dataset: Dataset, kind: str = "apex") -> AlpnStats:
+    overlap = dataset.overlapping_domains(1) | dataset.overlapping_domains(2)
+    h2, h3, h3_29_before, h3_29_after, h3_27, http11, none = [], [], [], [], [], [], []
+    for day in dataset.days():
+        snapshot = dataset.snapshot(day)
+        h2.append(_alpn_day_share(snapshot, overlap, ALPN_H2, kind))
+        h3.append(_alpn_day_share(snapshot, overlap, ALPN_H3, kind))
+        bucket = h3_29_before if day < timeline.H3_29_RETIREMENT else h3_29_after
+        bucket.append(_alpn_day_share(snapshot, overlap, ALPN_H3_29, kind))
+        h3_27.append(_alpn_day_share(snapshot, overlap, ALPN_H3_27, kind))
+        http11.append(_alpn_day_share(snapshot, overlap, ALPN_HTTP11, kind))
+        none.append(_alpn_day_share(snapshot, overlap, None, kind))
+    return AlpnStats(
+        h2_pct=mean(h2),
+        h3_pct=mean(h3),
+        h3_29_before_pct=mean(h3_29_before),
+        h3_29_after_pct=mean(h3_29_after),
+        h3_27_pct=mean(h3_27),
+        http11_pct=mean(http11),
+        no_alpn_pct=mean(none),
+    )
+
+
+def noncf_alpn_shares(dataset: Dataset) -> Dict[str, float]:
+    """§4.3.4: h2/h3/no-alpn shares among domains on non-Cloudflare NS."""
+    h2_days, h3_days, none_days = [], [], []
+    for day in dataset.days_between(timeline.NS_IP_WHOIS_SCAN_START):
+        snapshot = dataset.snapshot(day)
+        selected = [
+            obs for obs in snapshot.apex.values()
+            if classify_ns_set(obs.ns_names) == NS_NONE_CLOUDFLARE
+        ]
+        if not selected:
+            continue
+        total = len(selected)
+        h2_days.append(100.0 * sum(
+            1 for o in selected if any(ALPN_H2 in (r.alpn or ()) for r in o.https_records)
+        ) / total)
+        h3_days.append(100.0 * sum(
+            1 for o in selected if any(ALPN_H3 in (r.alpn or ()) for r in o.https_records)
+        ) / total)
+        none_days.append(100.0 * sum(
+            1 for o in selected if all(not r.alpn for r in o.https_records)
+        ) / total)
+    return {"h2": mean(h2_days), "h3": mean(h3_days), "no_alpn": mean(none_days)}

@@ -1,0 +1,51 @@
+"""Appendix C — Tranco list composition (Figure 8)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..simnet import timeline
+from ..scanner.dataset import Dataset
+from .common import mean
+
+
+@dataclass
+class RankDistributions:
+    """Figure 8: mean phase-1 rank per domain, split by overlap status."""
+
+    overlapping_ranks: List[float]
+    non_overlapping_ranks: List[float]
+
+    def overlapping_median(self) -> float:
+        return _median(self.overlapping_ranks)
+
+    def non_overlapping_median(self) -> float:
+        return _median(self.non_overlapping_ranks)
+
+
+def _median(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def fig8_rank_distributions(dataset: Dataset, phase: int = 1) -> RankDistributions:
+    overlap = dataset.overlapping_domains(phase)
+    rank_sum: Dict[str, List[int]] = defaultdict(list)
+    for day in dataset.days():
+        if timeline.phase_of(day) != phase:
+            continue
+        snapshot = dataset.snapshot(day)
+        for i, name in enumerate(snapshot.ranked_names):
+            rank_sum[name].append(i + 1)
+    overlapping, non_overlapping = [], []
+    for name, ranks in rank_sum.items():
+        avg = mean(ranks)
+        (overlapping if name in overlap else non_overlapping).append(avg)
+    return RankDistributions(overlapping, non_overlapping)

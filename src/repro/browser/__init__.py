@@ -1,0 +1,64 @@
+"""Client-side HTTPS RR support: browser models, TLS simulation, testbed."""
+
+from .engine import Browser, NavigationResult
+from .experiments import (
+    FULL,
+    HALF,
+    NONE,
+    SupportMatrix,
+    build_table6,
+    build_table7,
+    run_alias_mode_experiment,
+    run_alpn_experiment,
+    run_ech_experiments,
+    run_hint_experiment,
+    run_port_experiment,
+    run_service_target_experiment,
+    run_url_form_experiment,
+)
+from .policy import (
+    ALL_BROWSERS,
+    CHROME,
+    ECH_BROWSERS,
+    EDGE,
+    FIREFOX,
+    SAFARI,
+    BrowserPolicy,
+    by_name,
+)
+from .testbed import HttpEndpoint, Testbed, TEST_DOMAIN
+from .tls import Certificate, ClientHello, TlsResult, WebServer, seal_inner_hello
+
+__all__ = [
+    "Browser",
+    "NavigationResult",
+    "FULL",
+    "HALF",
+    "NONE",
+    "SupportMatrix",
+    "build_table6",
+    "build_table7",
+    "run_alias_mode_experiment",
+    "run_alpn_experiment",
+    "run_ech_experiments",
+    "run_hint_experiment",
+    "run_port_experiment",
+    "run_service_target_experiment",
+    "run_url_form_experiment",
+    "ALL_BROWSERS",
+    "CHROME",
+    "ECH_BROWSERS",
+    "EDGE",
+    "FIREFOX",
+    "SAFARI",
+    "BrowserPolicy",
+    "by_name",
+    "HttpEndpoint",
+    "Testbed",
+    "TEST_DOMAIN",
+    "Certificate",
+    "ClientHello",
+    "TlsResult",
+    "WebServer",
+    "seal_inner_hello",
+]

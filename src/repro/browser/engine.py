@@ -1,0 +1,414 @@
+"""The browser connection engine.
+
+Executes a :class:`~repro.browser.policy.BrowserPolicy` against the
+simulated network: DNS resolution (HTTPS RR + A), scheme upgrade
+decision, SVCB parameter handling (TargetName, port, IP hints, ALPN),
+ECH offer/retry/fallback, and the per-browser failover ladders — i.e.
+everything the paper's §5 testbed observes from outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..dnscore import rdtypes
+from ..dnscore.message import Message
+from ..dnscore.names import Name
+from ..dnscore.rdata import HTTPSRdata
+from ..ech.config import try_parse_config_list
+from ..resolver.network import Network, NetworkError
+from ..svcb.params import ALPN_HTTP11
+from .policy import (
+    BrowserPolicy,
+    FAILOVER_DELAYED,
+    FAILOVER_IMMEDIATE,
+    FAILOVER_NONE,
+    MALFORMED_IGNORE,
+)
+from .tls import ClientHello, TlsResult, WebServer, seal_inner_hello
+
+
+@dataclass
+class NavigationResult:
+    """What the testbed observes for one page load."""
+
+    url: str
+    browser: str
+    success: bool = False
+    scheme: str = ""
+    queried_https_rr: bool = False
+    used_https_rr: bool = False
+    followed_target: Optional[str] = None
+    ip: Optional[str] = None
+    port: Optional[int] = None
+    sni: Optional[str] = None
+    alpn: Optional[str] = None
+    used_ip_hints: bool = False
+    failover_used: bool = False
+    failover_delayed: bool = False
+    ech_offered: bool = False
+    ech_accepted: bool = False
+    ech_retried: bool = False
+    ech_grease_sent: bool = False
+    error: Optional[str] = None
+    events: List[str] = field(default_factory=list)
+
+    def log(self, message: str) -> None:
+        self.events.append(message)
+
+
+def _parse_url(url: str) -> Tuple[Optional[str], str, Optional[int]]:
+    scheme: Optional[str] = None
+    rest = url
+    if "://" in url:
+        scheme, rest = url.split("://", 1)
+        scheme = scheme.lower()
+    host, _, maybe_port = rest.partition("/")[0].partition(":")
+    port = int(maybe_port) if maybe_port else None
+    return scheme, host, port
+
+
+class Browser:
+    """One browser instance on one machine."""
+
+    def __init__(
+        self,
+        policy: BrowserPolicy,
+        network: Network,
+        resolver_ip: str,
+        os_name: Optional[str] = None,
+        doh_enabled: bool = True,
+        doh_client=None,
+    ):
+        self.policy = policy
+        self.network = network
+        self.resolver_ip = resolver_ip
+        self.os_name = os_name or policy.os_list[0]
+        self.doh_enabled = doh_enabled
+        # DoH-requiring browsers (Firefox) send their queries through an
+        # RFC 8484 client when one is configured (the paper points it at
+        # https://dns.google/dns-query).
+        self.doh_client = doh_client
+        self.dns_log: List[Tuple[str, int]] = []
+        self._msg_id = 0
+
+    # -- DNS ----------------------------------------------------------------
+
+    def _dns_query(self, name: Name, rdtype: int) -> Message:
+        self._msg_id += 1
+        self.dns_log.append((name.to_text(omit_final_dot=True), rdtype))
+        if self.doh_client is not None and self.doh_enabled and self.policy.requires_doh:
+            return self.doh_client.query(name, rdtype)
+        query = Message.make_query(name, rdtype, self._msg_id)
+        return self.network.send_dns_query(self.resolver_ip, query)
+
+    def _resolve_a(self, name: Name) -> List[str]:
+        response = self._dns_query(name, rdtypes.A)
+        return [
+            rd.address
+            for rrset in response.answers
+            if rrset.rdtype == rdtypes.A
+            for rd in rrset
+        ]
+
+    def _fetch_https_rr(self, name: Name) -> List[HTTPSRdata]:
+        response = self._dns_query(name, rdtypes.HTTPS)
+        rrset = response.get_answer(name, rdtypes.HTTPS)
+        if rrset is None:
+            return []
+        return [rd for rd in rrset if isinstance(rd, HTTPSRdata)]
+
+    # -- navigation -----------------------------------------------------------
+
+    def navigate(self, url: str) -> NavigationResult:
+        policy = self.policy
+        scheme, host, explicit_port = _parse_url(url)
+        result = NavigationResult(url=url, browser=policy.name)
+        name = Name.from_text(host if host.endswith(".") else host + ".")
+
+        # Every tested browser queries both HTTPS and A up front (§5.1),
+        # Firefox only when DoH is on.
+        records: List[HTTPSRdata] = []
+        if policy.supports_https_rr_in(self.doh_enabled):
+            result.queried_https_rr = True
+            records = self._fetch_https_rr(name)
+        a_addresses = self._resolve_a(name)
+
+        record = self._select_record(records)
+        if record is not None and policy.ignores_empty_alpn_record:
+            if record.is_service_mode and record.params.alpn is None and len(record.params) == 0:
+                result.log("record with empty SvcParams ignored (Chromium behaviour)")
+                record = None
+
+        use_https = scheme == "https" or (
+            record is not None
+            and (policy.upgrades_plain_url if scheme is None else policy.upgrades_http_url)
+        )
+        if scheme in (None, "http") and not use_https:
+            return self._plain_http(result, host, a_addresses, explicit_port)
+
+        result.scheme = "https"
+        if record is None:
+            return self._https_without_record(result, host, a_addresses, explicit_port)
+
+        result.used_https_rr = True
+        return self._https_with_record(result, host, name, record, a_addresses, explicit_port)
+
+    # -- plain HTTP path -----------------------------------------------------------
+
+    def _plain_http(
+        self, result: NavigationResult, host: str, addresses: List[str], explicit_port: Optional[int]
+    ) -> NavigationResult:
+        result.scheme = "http"
+        port = explicit_port or 80
+        if not addresses:
+            result.error = "dns_no_address"
+            return result
+        try:
+            server = self.network.connect_tcp(addresses[0], port)
+        except NetworkError as exc:
+            result.error = f"connect_failed: {exc}"
+            return result
+        result.success = True
+        result.ip, result.port = addresses[0], port
+        result.log(f"plain HTTP to {addresses[0]}:{port} ({type(server).__name__})")
+        return result
+
+    def _https_without_record(
+        self, result: NavigationResult, host: str, addresses: List[str], explicit_port: Optional[int]
+    ) -> NavigationResult:
+        if not addresses:
+            result.error = "dns_no_address"
+            return result
+        return self._tls_ladder(
+            result,
+            sni=host,
+            candidate_ips=[(addresses, False)],
+            port=explicit_port or 443,
+            alpn=("h2", ALPN_HTTP11),
+            ech_wire=None,
+        )
+
+    # -- HTTPS-RR-driven path ------------------------------------------------------------
+
+    def _select_record(self, records: List[HTTPSRdata]) -> Optional[HTTPSRdata]:
+        if not records:
+            return None
+        service = sorted(
+            (r for r in records if r.is_service_mode), key=lambda r: r.priority
+        )
+        if service:
+            return service[0]
+        return records[0]  # AliasMode
+
+    def _https_with_record(
+        self,
+        result: NavigationResult,
+        host: str,
+        name: Name,
+        record: HTTPSRdata,
+        a_addresses: List[str],
+        explicit_port: Optional[int],
+    ) -> NavigationResult:
+        policy = self.policy
+
+        # -- AliasMode ------------------------------------------------------
+        if record.is_alias_mode:
+            if policy.follows_alias_target and record.target != Name.root():
+                target = record.target
+                result.followed_target = target.to_text(omit_final_dot=True)
+                addresses = self._resolve_a(target)
+                result.log(f"AliasMode: following TargetName {result.followed_target}")
+                if not addresses:
+                    result.error = "alias_target_unresolvable"
+                    return result
+                return self._tls_ladder(
+                    result, host, [(addresses, False)], explicit_port or 443,
+                    ("h2", ALPN_HTTP11), None,
+                )
+            # Chrome/Edge/Firefox: ignore the alias, use the owner's A.
+            if not a_addresses:
+                result.error = "dns_no_address"
+                result.log("AliasMode TargetName not followed; owner has no A record")
+                return result
+            return self._tls_ladder(
+                result, host, [(a_addresses, False)], explicit_port or 443,
+                ("h2", ALPN_HTTP11), None,
+            )
+
+        # -- ServiceMode -------------------------------------------------------
+        target_name = record.effective_target(name)
+        target_addresses = a_addresses
+        if target_name != name:
+            if policy.follows_service_target:
+                result.followed_target = target_name.to_text(omit_final_dot=True)
+                target_addresses = self._resolve_a(target_name)
+                result.log(f"ServiceMode: following TargetName {result.followed_target}")
+            else:
+                result.log("ServiceMode TargetName ignored (connects to owner)")
+
+        port = explicit_port or 443
+        if record.params.port is not None and policy.uses_port:
+            port = record.params.port
+            result.log(f"using SvcParam port={port}")
+
+        alpn = record.params.effective_alpn() if policy.uses_alpn else ("h2", ALPN_HTTP11)
+
+        hints = list(record.params.ipv4hint)
+        candidates: List[Tuple[List[str], bool]] = []
+        if policy.prefers_ip_hints and hints:
+            candidates.append((hints, True))
+            if target_addresses:
+                candidates.append((target_addresses, False))
+        else:
+            if target_addresses:
+                candidates.append((target_addresses, False))
+            if hints and policy.hint_failover != FAILOVER_NONE:
+                candidates.append((hints, True))
+        if not candidates and hints:
+            # No A records at all: hints are the only way in.
+            candidates.append((hints, True))
+        if not candidates:
+            result.error = "dns_no_address"
+            return result
+
+        ech_wire = record.params.ech if self.policy.supports_ech else None
+        if record.params.ech is not None and not self.policy.supports_ech:
+            result.log("ech parameter present but browser lacks ECH support")
+        return self._tls_ladder(result, host, candidates, port, alpn, ech_wire)
+
+    # -- connection ladder ------------------------------------------------------------------
+
+    def _tls_ladder(
+        self,
+        result: NavigationResult,
+        sni: str,
+        candidate_ips: List[Tuple[List[str], bool]],
+        port: int,
+        alpn: Tuple[str, ...],
+        ech_wire: Optional[bytes],
+    ) -> NavigationResult:
+        policy = self.policy
+
+        # ECH preparation.
+        ech_sealed: Optional[Tuple[bytes, int, str]] = None
+        if ech_wire is not None:
+            ech_sealed = seal_inner_hello(ech_wire, sni)
+            if ech_sealed is None:
+                if policy.malformed_ech == MALFORMED_IGNORE:
+                    result.log("malformed ECH config ignored; standard TLS")
+                    ech_wire = None
+                else:
+                    result.error = "ech_malformed_hard_fail"
+                    result.log("malformed ECH config: connection abandoned after SYN")
+                    return result
+
+        ports_to_try = [port]
+        if port != 443 and policy.port_failover != FAILOVER_NONE:
+            ports_to_try.append(443)
+
+        attempt = 0
+        for try_port in ports_to_try:
+            for addresses, is_hint in candidate_ips:
+                for ip in addresses:
+                    attempt += 1
+                    if attempt > 1:
+                        result.failover_used = True
+                        if policy.hint_failover == FAILOVER_DELAYED or policy.port_failover == FAILOVER_DELAYED:
+                            result.failover_delayed = True
+                            result.log("waiting before retrying alternate address")
+                    outcome = self._attempt_tls(result, ip, try_port, sni, alpn, ech_wire, ech_sealed)
+                    if outcome is not None:
+                        return outcome
+                if addresses and policy.hint_failover == FAILOVER_NONE and policy.port_failover == FAILOVER_NONE:
+                    # Hard-failure browsers stop after the first address set.
+                    result.error = result.error or "connect_failed_hard"
+                    return result
+        result.error = result.error or "all_endpoints_failed"
+        return result
+
+    def _attempt_tls(
+        self,
+        result: NavigationResult,
+        ip: str,
+        port: int,
+        sni: str,
+        alpn: Tuple[str, ...],
+        ech_wire: Optional[bytes],
+        ech_sealed: Optional[Tuple[bytes, int, str]],
+    ) -> Optional[NavigationResult]:
+        try:
+            server = self.network.connect_tcp(ip, port)
+        except NetworkError as exc:
+            result.log(f"TCP connect to {ip}:{port} failed: {exc}")
+            result.error = f"connect_failed: {exc}"
+            return None
+        if not isinstance(server, WebServer):
+            result.error = "not_a_tls_endpoint"
+            return None
+
+        if ech_sealed is not None and ech_wire is not None:
+            payload, config_id, public_name = ech_sealed
+            hello = ClientHello(
+                sni=public_name, alpn=tuple(alpn), ech_payload=payload, ech_config_id=config_id
+            )
+            result.ech_offered = True
+        elif self.policy.supports_ech:
+            # No (usable) ECH config: ECH-capable browsers send a GREASE
+            # extension so real ECH traffic doesn't stand out.
+            hello = ClientHello(sni=sni, alpn=tuple(alpn), ech_is_grease=True)
+            result.ech_grease_sent = True
+        else:
+            hello = ClientHello(sni=sni, alpn=tuple(alpn))
+        tls = server.handle_connection(hello)
+
+        if tls.ech_offered and not tls.ech_accepted:
+            if tls.retry_configs is not None and self.policy.supports_ech_retry:
+                result.ech_retried = True
+                result.log("server rejected ECH; retrying with retry_configs")
+                retried = seal_inner_hello(tls.retry_configs, sni)
+                if retried is not None:
+                    payload, config_id, public_name = retried
+                    hello = ClientHello(
+                        sni=public_name, alpn=tuple(alpn), ech_payload=payload,
+                        ech_config_id=config_id,
+                    )
+                    tls = server.handle_connection(hello)
+            elif tls.cert_valid_for_sni:
+                # The outer handshake authenticated as the public name: the
+                # client may securely disable ECH and retry without it
+                # (unilateral-removal fallback, §5.3.1-(1)).
+                result.log("ECH not accepted; authenticated fallback to standard TLS")
+                tls = server.handle_connection(ClientHello(sni=sni, alpn=tuple(alpn)))
+            else:
+                # The server could neither decrypt the inner hello nor
+                # authenticate as the public name — the Split Mode failure
+                # (§5.3.2): browsers hard-fail on the certificate.
+                result.error = "ERR_ECH_FALLBACK_CERTIFICATE_INVALID"
+                result.log(
+                    f"TLS to {ip}:{port}: ECH fallback certificate invalid "
+                    f"(cert from {tls.served_by} does not cover {hello.sni})"
+                )
+                return result
+
+        if not tls.connected:
+            if tls.error == "certificate_name_mismatch" and tls.ech_offered:
+                result.error = "ERR_ECH_FALLBACK_CERTIFICATE_INVALID"
+            else:
+                result.error = tls.error
+            result.log(f"TLS to {ip}:{port} failed: {result.error}")
+            # Certificate errors are terminal, not failover-able.
+            if tls.error == "certificate_name_mismatch":
+                return result
+            return None
+
+        result.success = True
+        result.ip = ip
+        result.port = port
+        result.sni = tls.sni_used
+        result.alpn = tls.alpn
+        result.ech_accepted = tls.ech_accepted
+        if self.policy.h3_h2_compat_retry and tls.alpn == "h3":
+            result.log("compatibility follow-up: extra h2 connection attempt")
+        return result

@@ -1,0 +1,387 @@
+"""The §5 experiment matrix: regenerates Tables 6 and 7.
+
+Each experiment configures the testbed (zone + servers), drives every
+browser, and grades the observed behaviour:
+
+* ``FULL`` — the record/parameter is used as specified;
+* ``HALF`` — fetched/attempted but an essential function is missing;
+* ``NONE`` — no support (or a hard failure).
+
+The paper repeats each setting 5 times; the simulation is deterministic
+so ``rounds`` defaults to 1 (the repetition knob exists for parity).
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dnscore import rdtypes
+from .policy import ALL_BROWSERS, ECH_BROWSERS
+from .testbed import (
+    ALT_WEB_SERVER_IP,
+    TEST_DOMAIN,
+    Testbed,
+    WEB_SERVER_IP,
+)
+
+FULL = "full"
+HALF = "half"
+NONE = "none"
+
+_GLYPHS = {FULL: "●", HALF: "◐", NONE: "○"}
+
+
+def glyph(level: str) -> str:
+    return _GLYPHS[level]
+
+
+@dataclass
+class SupportMatrix:
+    """rows × browsers → FULL/HALF/NONE."""
+
+    title: str
+    browsers: Tuple[str, ...]
+    rows: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def set(self, row: str, browser: str, level: str) -> None:
+        self.rows.setdefault(row, {})[browser] = level
+
+    def get(self, row: str, browser: str) -> str:
+        return self.rows[row][browser]
+
+    def render(self) -> str:
+        width = max(len(r) for r in self.rows) + 2
+        header = " " * width + "  ".join(f"{b:^8}" for b in self.browsers)
+        lines = [self.title, header]
+        for row, cells in self.rows.items():
+            line = f"{row:<{width}}" + "  ".join(
+                f"{glyph(cells.get(b, NONE)):^8}" for b in self.browsers
+            )
+            lines.append(line)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# §5.1 — HTTPS RR utilization across URL forms
+# ---------------------------------------------------------------------------
+
+def run_url_form_experiment(testbed: Optional[Testbed] = None) -> SupportMatrix:
+    testbed = testbed or Testbed()
+    matrix = SupportMatrix(
+        "HTTPS RR utilization (§5.1)", tuple(p.name for p in ALL_BROWSERS)
+    )
+    testbed.clear_endpoints()
+    testbed.simple_service_zone("1 . alpn=h2")
+    testbed.install_web_server(alpn=("h2", "http/1.1"))
+
+    url_forms = {
+        "{apex}": TEST_DOMAIN,
+        "http://{apex}": f"http://{TEST_DOMAIN}",
+        "https://{apex}": f"https://{TEST_DOMAIN}",
+    }
+    for row, url in url_forms.items():
+        for policy in ALL_BROWSERS:
+            testbed.new_round()
+            browser = testbed.browser(policy.name)
+            result = browser.navigate(url)
+            queried = any(rdtype == rdtypes.HTTPS for _n, rdtype in browser.dns_log)
+            used = result.success and result.scheme == "https"
+            if queried and used:
+                level = FULL
+            elif queried:
+                level = HALF  # fetched the record but connected over HTTP
+            else:
+                level = NONE
+            matrix.set(row, policy.name, level)
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# §5.2.1 — AliasMode TargetName
+# ---------------------------------------------------------------------------
+
+def run_alias_mode_experiment(testbed: Optional[Testbed] = None) -> SupportMatrix:
+    testbed = testbed or Testbed()
+    matrix = SupportMatrix(
+        "AliasMode TargetName (§5.2.1)", tuple(p.name for p in ALL_BROWSERS)
+    )
+    testbed.clear_endpoints()
+    # No A record at the apex: only the alias target resolves.
+    testbed.set_zone_records([
+        ("@", "HTTPS", f"0 pool.{TEST_DOMAIN}."),
+        ("pool", "A", WEB_SERVER_IP),
+    ])
+    testbed.install_web_server(ip=WEB_SERVER_IP)
+    for policy in ALL_BROWSERS:
+        testbed.new_round()
+        result = testbed.browser(policy.name).navigate(f"https://{TEST_DOMAIN}")
+        followed = result.success and result.followed_target == f"pool.{TEST_DOMAIN}"
+        matrix.set("AliasMode TargetName", policy.name, FULL if followed else NONE)
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# §5.2.2 — ServiceMode parameters
+# ---------------------------------------------------------------------------
+
+def run_service_target_experiment(testbed: Optional[Testbed] = None) -> SupportMatrix:
+    testbed = testbed or Testbed()
+    matrix = SupportMatrix(
+        "ServiceMode TargetName (§5.2.2)", tuple(p.name for p in ALL_BROWSERS)
+    )
+    testbed.clear_endpoints()
+    testbed.set_zone_records([
+        ("@", "HTTPS", f"1 pool.{TEST_DOMAIN}. alpn=h2"),
+        ("@", "A", WEB_SERVER_IP),
+        ("pool", "A", ALT_WEB_SERVER_IP),
+    ])
+    # The *right* service lives at the alternative endpoint only.
+    testbed.install_web_server(ip=ALT_WEB_SERVER_IP)
+    testbed.install_web_server(ip=WEB_SERVER_IP)  # the owner's (wrong) host
+    for policy in ALL_BROWSERS:
+        testbed.new_round()
+        result = testbed.browser(policy.name).navigate(f"https://{TEST_DOMAIN}")
+        at_target = result.success and result.ip == ALT_WEB_SERVER_IP
+        matrix.set("TargetName", policy.name, FULL if at_target else NONE)
+    return matrix
+
+
+def run_port_experiment(testbed: Optional[Testbed] = None) -> Tuple[SupportMatrix, SupportMatrix]:
+    testbed = testbed or Testbed()
+    support = SupportMatrix("port parameter (§5.2.2-1)", tuple(p.name for p in ALL_BROWSERS))
+    failover = SupportMatrix("port failover", tuple(p.name for p in ALL_BROWSERS))
+
+    # Support: service only reachable on 8443.
+    testbed.clear_endpoints()
+    testbed.simple_service_zone("1 . alpn=h2 port=8443")
+    testbed.install_web_server(port=8443)
+    for policy in ALL_BROWSERS:
+        testbed.new_round()
+        result = testbed.browser(policy.name).navigate(f"https://{TEST_DOMAIN}")
+        used = result.success and result.port == 8443
+        support.set("port", policy.name, FULL if used else NONE)
+
+    # Failover: record says 8443 but the service only listens on 443.
+    testbed.clear_endpoints()
+    testbed.simple_service_zone("1 . alpn=h2 port=8443")
+    testbed.install_web_server(port=443)
+    for policy in ALL_BROWSERS:
+        testbed.new_round()
+        result = testbed.browser(policy.name).navigate(f"https://{TEST_DOMAIN}")
+        fell_back = result.success and result.port == 443
+        if fell_back:
+            level = FULL
+        elif not policy.uses_port and result.success:
+            # Chrome/Edge "succeed" here only because they never left 443.
+            level = NONE
+        else:
+            level = NONE
+        failover.set("port failover", policy.name, level)
+    return support, failover
+
+
+def run_hint_experiment(testbed: Optional[Testbed] = None) -> Tuple[SupportMatrix, SupportMatrix]:
+    testbed = testbed or Testbed()
+    support = SupportMatrix("IP hints (§5.2.2-2)", tuple(p.name for p in ALL_BROWSERS))
+    failover = SupportMatrix("IP hint failover", tuple(p.name for p in ALL_BROWSERS))
+
+    # Preference: hint and A point at different, both-alive servers.
+    testbed.clear_endpoints()
+    testbed.set_zone_records([
+        ("@", "HTTPS", f"1 . alpn=h2 ipv4hint={WEB_SERVER_IP}"),
+        ("@", "A", ALT_WEB_SERVER_IP),
+    ])
+    testbed.install_web_server(ip=WEB_SERVER_IP)
+    testbed.install_web_server(ip=ALT_WEB_SERVER_IP)
+    for policy in ALL_BROWSERS:
+        testbed.new_round()
+        result = testbed.browser(policy.name).navigate(f"https://{TEST_DOMAIN}")
+        used_hint = result.success and result.ip == WEB_SERVER_IP
+        support.set("IP hints", policy.name, FULL if used_hint else NONE)
+
+    # Failover: the preferred address is dead; only the other one serves.
+    for scenario, alive_ip in (("hint dead", ALT_WEB_SERVER_IP), ("A dead", WEB_SERVER_IP)):
+        testbed.clear_endpoints()
+        testbed.set_zone_records([
+            ("@", "HTTPS", f"1 . alpn=h2 ipv4hint={WEB_SERVER_IP}"),
+            ("@", "A", ALT_WEB_SERVER_IP),
+        ])
+        testbed.install_web_server(ip=alive_ip)
+        for policy in ALL_BROWSERS:
+            testbed.new_round()
+            result = testbed.browser(policy.name).navigate(f"https://{TEST_DOMAIN}")
+            previous = failover.rows.get("IP hint failover", {}).get(policy.name)
+            recovered = result.success
+            level = FULL if recovered else NONE
+            if previous == NONE:
+                level = NONE  # must survive both directions
+            failover.set("IP hint failover", policy.name, level)
+    failover.notes.append("Safari retries immediately; Firefox retries after a delay")
+    return support, failover
+
+
+def run_alpn_experiment(testbed: Optional[Testbed] = None) -> SupportMatrix:
+    testbed = testbed or Testbed()
+    matrix = SupportMatrix("alpn parameter (§5.2.2-3)", tuple(p.name for p in ALL_BROWSERS))
+    for protocol in ("h2", "h3"):
+        testbed.clear_endpoints()
+        testbed.simple_service_zone(f"1 . alpn={protocol}")
+        testbed.install_web_server(alpn=(protocol,))
+        for policy in ALL_BROWSERS:
+            testbed.new_round()
+            result = testbed.browser(policy.name).navigate(f"https://{TEST_DOMAIN}")
+            ok = result.success and result.alpn == protocol
+            previous = matrix.rows.get("alpn", {}).get(policy.name)
+            level = FULL if ok and previous != NONE else NONE
+            matrix.set("alpn", policy.name, level)
+    matrix.notes.append("Firefox issues a follow-up h2 attempt after an h3-only connect")
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# §5.3 — ECH
+# ---------------------------------------------------------------------------
+
+def _ech_zone(testbed: Testbed, ech_wire: bytes, a_ip: str) -> None:
+    encoded = base64.b64encode(ech_wire).decode()
+    testbed.set_zone_records([
+        ("@", "HTTPS", f"1 . alpn=h2 ech={encoded}"),
+        ("@", "A", a_ip),
+        ("cover", "A", a_ip),
+    ])
+
+
+def run_ech_experiments(testbed: Optional[Testbed] = None) -> SupportMatrix:
+    testbed = testbed or Testbed()
+    browsers = tuple(p.name for p in ECH_BROWSERS)
+    matrix = SupportMatrix("ECH support and failover (§5.3, Table 7)", browsers)
+    km = testbed.make_ech_manager()
+    shared_ip = "2.2.2.2"
+    cert = (TEST_DOMAIN, f"cover.{TEST_DOMAIN}")
+
+    # -- Shared Mode, correctly configured -----------------------------------
+    _ech_zone(testbed, km.published_wire(0), shared_ip)
+    testbed.clear_endpoints()
+    testbed.network.unregister_tcp(shared_ip, 443)
+    testbed.install_web_server(
+        ip=shared_ip, cert_names=cert, ech_keypairs=km.active_keypairs(0),
+        ech_retry_wire=km.published_wire(0),
+    )
+    for name in browsers:
+        testbed.new_round()
+        result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+        ok = result.success and result.ech_accepted
+        matrix.set("Shared Mode Support", name, FULL if ok else NONE)
+
+    # -- (1) Unilateral ECH: record advertises ECH, server dropped it ---------------
+    testbed.network.unregister_tcp(shared_ip, 443)
+    testbed.install_web_server(ip=shared_ip, cert_names=cert, ech_keypairs=())
+    for name in browsers:
+        testbed.new_round()
+        result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+        ok = result.success and not result.ech_accepted
+        matrix.set("(1) Unilateral ECH", name, FULL if ok else NONE)
+
+    # -- (2) Malformed ECH configuration ----------------------------------------------
+    _ech_zone(testbed, b"\x00\x08garbage!", shared_ip)
+    testbed.network.unregister_tcp(shared_ip, 443)
+    testbed.install_web_server(
+        ip=shared_ip, cert_names=cert, ech_keypairs=km.active_keypairs(0)
+    )
+    for name in browsers:
+        testbed.new_round()
+        result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+        matrix.set("(2) Malformed ECH", name, FULL if result.success else NONE)
+
+    # -- (3) ECH key mismatch + retry configs ---------------------------------------------
+    stale_generation = 0
+    current_generation = 9
+    _ech_zone(testbed, km.published_wire(stale_generation), shared_ip)
+    current_keys = [km.keypair_for_generation(current_generation)]
+    current_wire = b"".join([])  # placeholder to keep lints quiet
+    retry_wire = _wire_for_generation(km, current_generation)
+    testbed.network.unregister_tcp(shared_ip, 443)
+    testbed.install_web_server(
+        ip=shared_ip, cert_names=cert, ech_keypairs=current_keys, ech_retry_wire=retry_wire
+    )
+    for name in browsers:
+        testbed.new_round()
+        result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+        ok = result.success and result.ech_retried and result.ech_accepted
+        matrix.set("(3) Mismatched key", name, FULL if ok else NONE)
+
+    # -- Split Mode --------------------------------------------------------------------------
+    backend_ip, facing_ip = "1.1.1.1", "2.2.2.2"
+    public_name = "client-facing.example"
+    split_km = _split_manager(public_name)
+    encoded = base64.b64encode(split_km.published_wire(0)).decode()
+    testbed.set_zone_records([
+        ("@", "HTTPS", f"1 . alpn=h2 ech={encoded}"),
+        ("@", "A", backend_ip),
+        (public_name + ".", "A", facing_ip),
+    ])
+    testbed.clear_endpoints()
+    # Backend: has the content and a cert for the test domain, but no ECH keys.
+    backend = None
+    testbed.network.unregister_tcp(backend_ip, 443)
+    backend = testbed.install_web_server(ip=backend_ip, cert_names=(TEST_DOMAIN,))
+    # Client-facing server: would decrypt and forward — but no browser ever
+    # connects to it (they skip the public_name A lookup).
+    testbed.network.unregister_tcp(facing_ip, 443)
+    testbed.install_web_server(
+        ip=facing_ip,
+        cert_names=(public_name,),
+        ech_keypairs=split_km.active_keypairs(0),
+        backends={TEST_DOMAIN: backend},
+    )
+    for name in browsers:
+        testbed.new_round()
+        result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+        matrix.set("Split Mode Support", name, FULL if result.success else NONE)
+        if not result.success and result.error:
+            matrix.notes.append(f"{name}: {result.error}")
+    return matrix
+
+
+def _split_manager(public_name: str):
+    from ..ech.keys import ECHKeyManager
+
+    return ECHKeyManager(public_name, seed=b"split-mode")
+
+
+def _wire_for_generation(km, generation: int) -> bytes:
+    from ..ech.config import ECHConfigList
+
+    return ECHConfigList([km.config_for_generation(generation)]).to_wire()
+
+
+# ---------------------------------------------------------------------------
+# Full tables
+# ---------------------------------------------------------------------------
+
+def build_table6() -> SupportMatrix:
+    """Table 6: the full HTTPS RR support matrix."""
+    testbed = Testbed()
+    matrix = SupportMatrix("Table 6: HTTPS RR support", tuple(p.name for p in ALL_BROWSERS))
+    for source in (
+        run_url_form_experiment(testbed),
+        run_alias_mode_experiment(testbed),
+        run_service_target_experiment(testbed),
+        run_port_experiment(testbed)[0],
+        run_alpn_experiment(testbed),
+        run_hint_experiment(testbed)[0],
+    ):
+        for row, cells in source.rows.items():
+            for browser, level in cells.items():
+                matrix.set(row, browser, level)
+    return matrix
+
+
+def build_table7() -> SupportMatrix:
+    """Table 7: ECH support and failover."""
+    return run_ech_experiments(Testbed())

@@ -1,0 +1,140 @@
+"""Browser behaviour policies.
+
+Each policy encodes how one browser (as of the paper's test versions,
+Table 6) handles HTTPS resource records and ECH. The connection engine
+*executes* these policies mechanically — the Table 6/7 benchmarks are
+regenerated from engine behaviour, not hard-coded.
+
+Sources: the paper's controlled experiments (§5.1–5.3) plus its
+Chromium/Firefox code corroboration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+# Hint/port failover styles.
+FAILOVER_NONE = "none"  # hard failure
+FAILOVER_IMMEDIATE = "immediate"  # retry alternate address at once
+FAILOVER_DELAYED = "delayed"  # retry after a long wait
+
+# Malformed-ECH handling.
+MALFORMED_HARD_FAIL = "hard-fail"
+MALFORMED_IGNORE = "ignore"
+
+
+@dataclass(frozen=True)
+class BrowserPolicy:
+    """Static description of one browser's HTTPS-RR behaviour."""
+
+    name: str
+    version: str
+    os_list: Tuple[str, ...]
+
+    # -- §5.1: record utilization -------------------------------------------
+    queries_https_rr: bool = True
+    requires_doh: bool = False  # Firefox: HTTPS RR only over DoH
+    upgrades_plain_url: bool = True  # uses the RR to jump straight to HTTPS
+    upgrades_http_url: bool = True
+
+    # -- §5.2: parameter resolution ----------------------------------------------
+    follows_alias_target: bool = False  # AliasMode TargetName
+    follows_service_target: bool = False  # ServiceMode TargetName
+    uses_port: bool = False
+    port_failover: str = FAILOVER_NONE
+    prefers_ip_hints: bool = False  # vs. preferring A-record addresses
+    hint_failover: str = FAILOVER_NONE
+    uses_alpn: bool = True
+    ignores_empty_alpn_record: bool = False  # Chromium drops RR w/ empty alpn
+    h3_h2_compat_retry: bool = False  # Firefox fires a follow-up h2 attempt
+
+    # -- §5.3: ECH ------------------------------------------------------------------
+    supports_ech: bool = False
+    malformed_ech: str = MALFORMED_HARD_FAIL
+    supports_ech_retry: bool = False
+    resolves_split_mode_public_name: bool = False  # nobody does (§5.3.2)
+
+    def supports_https_rr_in(self, doh_enabled: bool) -> bool:
+        return self.queries_https_rr and (doh_enabled or not self.requires_doh)
+
+
+CHROME = BrowserPolicy(
+    name="Chrome",
+    version="120.0.6099",
+    os_list=("macOS", "Windows"),
+    upgrades_plain_url=True,
+    upgrades_http_url=True,
+    follows_alias_target=False,
+    follows_service_target=False,
+    uses_port=False,
+    port_failover=FAILOVER_NONE,
+    prefers_ip_hints=False,
+    hint_failover=FAILOVER_NONE,
+    ignores_empty_alpn_record=True,
+    supports_ech=True,
+    malformed_ech=MALFORMED_HARD_FAIL,
+    supports_ech_retry=True,
+)
+
+EDGE = BrowserPolicy(
+    name="Edge",
+    version="120.0.2210",
+    os_list=("macOS", "Windows"),
+    upgrades_plain_url=True,
+    upgrades_http_url=True,
+    follows_alias_target=False,
+    follows_service_target=False,
+    uses_port=False,
+    port_failover=FAILOVER_NONE,
+    prefers_ip_hints=False,
+    hint_failover=FAILOVER_NONE,
+    ignores_empty_alpn_record=True,
+    supports_ech=True,
+    malformed_ech=MALFORMED_HARD_FAIL,
+    supports_ech_retry=True,
+)
+
+SAFARI = BrowserPolicy(
+    name="Safari",
+    version="17.2.1",
+    os_list=("macOS",),
+    upgrades_plain_url=False,  # fetches the RR but still connects over HTTP
+    upgrades_http_url=False,
+    follows_alias_target=True,
+    follows_service_target=True,
+    uses_port=True,
+    port_failover=FAILOVER_IMMEDIATE,
+    prefers_ip_hints=True,
+    hint_failover=FAILOVER_IMMEDIATE,
+    supports_ech=False,
+)
+
+FIREFOX = BrowserPolicy(
+    name="Firefox",
+    version="122.0.1",
+    os_list=("macOS", "Windows"),
+    requires_doh=True,
+    upgrades_plain_url=True,
+    upgrades_http_url=True,
+    follows_alias_target=False,
+    follows_service_target=True,
+    uses_port=True,
+    port_failover=FAILOVER_IMMEDIATE,
+    prefers_ip_hints=True,
+    hint_failover=FAILOVER_DELAYED,
+    h3_h2_compat_retry=True,
+    supports_ech=True,
+    malformed_ech=MALFORMED_IGNORE,
+    supports_ech_retry=True,
+)
+
+ALL_BROWSERS = (CHROME, SAFARI, EDGE, FIREFOX)
+ECH_BROWSERS = (CHROME, EDGE, FIREFOX)  # Safari lacks any ECH support
+
+
+def by_name(name: str) -> BrowserPolicy:
+    for policy in ALL_BROWSERS:
+        if policy.name.lower() == name.lower():
+            return policy
+    raise KeyError(f"unknown browser {name!r}")

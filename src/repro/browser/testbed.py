@@ -1,0 +1,171 @@
+"""The §5 controlled testbed.
+
+Reproduces the paper's setup (Figure 6): a test domain with its own
+authoritative name server (the paper's BIND9 on AWS), an ECH-capable web
+server (the paper's patched OpenSSL+Nginx), and a public recursive
+resolver the browsers are pointed at. Each experiment reconfigures the
+zone/servers, clears caches, and drives the browsers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dnscore import rdtypes
+from ..dnscore.names import Name
+from ..ech.hpke import HpkeKeyPair
+from ..ech.keys import ECHKeyManager
+from ..resolver.authoritative import AuthoritativeServer
+from ..resolver.clock import SimClock
+from ..resolver.doh import DohClient, DohServer
+from ..resolver.network import Network
+from ..resolver.recursive import RecursiveResolver
+from ..resolver.stub import ResolverFrontend
+from ..zones.zone import Zone
+from .engine import Browser
+from .policy import ALL_BROWSERS, BrowserPolicy
+from .tls import Certificate, WebServer
+
+TEST_DOMAIN = "svcb-test.example"
+ROOT_SERVER_IP = "198.41.0.4"
+AUTH_SERVER_IP = "52.20.30.40"  # the paper's AWS-hosted BIND9
+WEB_SERVER_IP = "1.2.3.4"
+ALT_WEB_SERVER_IP = "2.2.3.4"
+RESOLVER_IP = "8.8.8.8"
+RECORD_TTL = 60  # the paper uses 60s TTLs to force refreshes
+
+
+class HttpEndpoint:
+    """A plaintext HTTP listener (port 80). Its only job is to prove a
+    browser connected without TLS."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.request_count = 0
+
+    def handle_connection(self, client_hello) -> str:
+        self.request_count += 1
+        return f"HTTP/1.1 200 OK from {self.name}"
+
+
+class Testbed:
+    """One §5 experiment environment."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self):
+        self.clock = SimClock(1_700_000_000)
+        self.network = Network()
+        self._build_dns()
+        self.browsers: Dict[str, Browser] = {}
+        for policy in ALL_BROWSERS:
+            self.browsers[policy.name] = Browser(
+                policy,
+                self.network,
+                RESOLVER_IP,
+                doh_enabled=True,
+                # Firefox resolves via DoH at the public resolver (§5).
+                doh_client=self.doh_client if policy.requires_doh else None,
+            )
+
+    # -- DNS infrastructure --------------------------------------------------
+
+    def _build_dns(self) -> None:
+        self.domain = Name.from_text(TEST_DOMAIN + ".")
+        root = Zone(Name.root(), default_ttl=RECORD_TTL)
+        root.ensure_soa(Name.from_text("a.root-servers.net."))
+        root.delegate(self.domain, [Name.from_text(f"ns1.{TEST_DOMAIN}.")])
+        root.add_record(f"ns1.{TEST_DOMAIN}.", "A", AUTH_SERVER_IP)
+        root_server = AuthoritativeServer("root")
+        root_server.tree.add_zone(root)
+        self.network.register_dns(ROOT_SERVER_IP, root_server)
+        self.root_zone = root
+
+        self.auth_server = AuthoritativeServer("testbed-bind9")
+        self.network.register_dns(AUTH_SERVER_IP, self.auth_server)
+        self.zone: Optional[Zone] = None
+        self.resolver = RecursiveResolver(
+            "google-public", self.network, [ROOT_SERVER_IP], self.clock
+        )
+        self.network.register_dns(RESOLVER_IP, ResolverFrontend(self.resolver))
+        self.doh_server = DohServer(self.resolver)
+        self.doh_client = DohClient(self.doh_server, url="https://dns.google/dns-query")
+
+    def set_zone_records(self, records: Sequence[Tuple[str, str, str]]) -> None:
+        """Replace the test zone. *records* are (owner, type, rdata-text)
+        with owner relative names allowed ("@" for the apex)."""
+        zone = Zone(self.domain, default_ttl=RECORD_TTL)
+        zone.ensure_soa(Name.from_text(f"ns1.{TEST_DOMAIN}."))
+        zone.add_record(f"{TEST_DOMAIN}.", "NS", f"ns1.{TEST_DOMAIN}.")
+        zone.add_record(f"ns1.{TEST_DOMAIN}.", "A", AUTH_SERVER_IP)
+        for owner, rdtype_text, rdata_text in records:
+            if owner in ("@", ""):
+                owner = TEST_DOMAIN + "."
+            elif not owner.endswith("."):
+                owner = f"{owner}.{TEST_DOMAIN}."
+            if not Name.from_text(owner).is_subdomain_of(self.domain):
+                # Out-of-zone names (e.g. a Split Mode client-facing server
+                # in another apex) live in the root-served namespace.
+                self.root_zone.add_record(owner, rdtype_text, rdata_text)
+                continue
+            zone.add_record(owner, rdtype_text, rdata_text)
+        self.zone = zone
+        self.auth_server.tree = type(self.auth_server.tree)()
+        self.auth_server.tree.add_zone(zone)
+        self.new_round()
+
+    # -- servers -------------------------------------------------------------------
+
+    def clear_endpoints(self) -> None:
+        for ip in (WEB_SERVER_IP, ALT_WEB_SERVER_IP):
+            for port in (80, 443, 8443):
+                self.network.unregister_tcp(ip, port)
+
+    def install_web_server(
+        self,
+        ip: str = WEB_SERVER_IP,
+        port: int = 443,
+        cert_names: Sequence[str] = (TEST_DOMAIN,),
+        alpn: Sequence[str] = ("h2", "http/1.1"),
+        ech_keypairs: Sequence[HpkeKeyPair] = (),
+        ech_retry_wire: Optional[bytes] = None,
+        retry_enabled: bool = True,
+        backends: Optional[Dict[str, WebServer]] = None,
+        with_http: bool = True,
+    ) -> WebServer:
+        server = WebServer(
+            name=f"web@{ip}:{port}",
+            certificate=Certificate(tuple(cert_names)),
+            alpn=alpn,
+            ech_keypairs=ech_keypairs,
+            ech_retry_wire=ech_retry_wire,
+            retry_enabled=retry_enabled,
+            backends=backends,
+        )
+        self.network.register_tcp(ip, port, server)
+        if with_http:
+            self.network.register_tcp(ip, 80, HttpEndpoint(f"http@{ip}"))
+        return server
+
+    # -- per-round hygiene (the paper clears caches between rounds) ------------------
+
+    def new_round(self) -> None:
+        """Clear DNS caches and browser history; let TTLs expire."""
+        self.clock.advance(RECORD_TTL + 5)
+        self.resolver.flush_cache()
+        for browser in self.browsers.values():
+            browser.dns_log.clear()
+
+    def browser(self, name: str) -> Browser:
+        return self.browsers[name]
+
+    # -- convenience used by most experiments -------------------------------------------
+
+    def simple_service_zone(self, https_rdata: str = "1 . alpn=h2", a_ip: str = WEB_SERVER_IP) -> None:
+        self.set_zone_records([
+            ("@", "HTTPS", https_rdata),
+            ("@", "A", a_ip),
+        ])
+
+    def make_ech_manager(self) -> ECHKeyManager:
+        return ECHKeyManager(f"cover.{TEST_DOMAIN}", seed=b"testbed")

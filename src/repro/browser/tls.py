@@ -1,0 +1,197 @@
+"""TLS handshake and web-server simulation for the client-side testbed.
+
+Models exactly the handshake surface the §5 experiments exercise:
+SNI-based certificate selection/validation, ALPN negotiation, and the
+ECH acceptance / rejection / retry-configs state machine (draft-13
+§6.1.6), including Split Mode forwarding by the client-facing server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ech.config import ECHConfigList, try_parse_config_list
+from ..ech.hpke import HpkeError, HpkeKeyPair, open_, seal
+
+ECH_INFO = b"tls ech draft-13"
+
+
+@dataclass
+class Certificate:
+    """A server certificate: the DNS names it covers."""
+
+    names: Tuple[str, ...]
+
+    def covers(self, sni: str) -> bool:
+        sni = sni.rstrip(".").lower()
+        for name in self.names:
+            name = name.rstrip(".").lower()
+            if name == sni:
+                return True
+            if name.startswith("*.") and sni.endswith(name[1:]):
+                return True
+        return False
+
+
+@dataclass
+class ClientHello:
+    """The (outer) ClientHello a browser sends."""
+
+    sni: str
+    alpn: Tuple[str, ...]
+    ech_payload: Optional[bytes] = None  # sealed ClientHelloInner
+    ech_config_id: int = 0
+    ech_is_grease: bool = False  # a GREASE ECH extension (draft-13 §6.2)
+    inner_sni_plain: Optional[str] = None  # only for non-ECH connections: None
+
+
+@dataclass
+class TlsResult:
+    """Outcome of one handshake attempt."""
+
+    connected: bool
+    sni_used: str = ""
+    alpn: Optional[str] = None
+    certificate: Optional[Certificate] = None
+    cert_valid_for_sni: bool = False
+    ech_offered: bool = False
+    ech_accepted: bool = False
+    retry_configs: Optional[bytes] = None
+    error: Optional[str] = None
+    served_by: str = ""
+
+
+def seal_inner_hello(config_list_wire: bytes, inner_sni: str) -> Optional[Tuple[bytes, int, str]]:
+    """Client side: encrypt the inner SNI to the ECHConfig's key.
+
+    Returns (payload, config_id, public_name) or None when the config
+    list cannot be parsed (malformed — the browser decides what then).
+    """
+    config_list = try_parse_config_list(config_list_wire)
+    if config_list is None:
+        return None
+    config = config_list.primary()
+    payload = seal(
+        config.public_key,
+        ECH_INFO,
+        aad=config.public_name.encode(),
+        plaintext=inner_sni.encode(),
+    )
+    return payload, config.config_id, config.public_name
+
+
+class WebServer:
+    """An HTTPS endpoint: certificate, ALPN set, optional ECH keys.
+
+    ``ech_keypairs`` are the HPKE keys the server will try for
+    decryption; ``ech_retry_wire`` is the ECHConfigList handed back as
+    retry_configs on decryption failure (the draft discourages disabling
+    retry; ``retry_enabled=False`` models a misbehaving server).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        certificate: Certificate,
+        alpn: Sequence[str] = ("h2", "http/1.1"),
+        ech_keypairs: Sequence[HpkeKeyPair] = (),
+        ech_retry_wire: Optional[bytes] = None,
+        retry_enabled: bool = True,
+        backends: Optional[Dict[str, "WebServer"]] = None,
+    ):
+        self.name = name
+        self.certificate = certificate
+        self.alpn = tuple(alpn)
+        self.ech_keypairs = list(ech_keypairs)
+        self.ech_retry_wire = ech_retry_wire
+        self.retry_enabled = retry_enabled
+        # Split-mode: inner-SNI -> backend server this client-facing
+        # server forwards to.
+        self.backends = backends or {}
+        self.handshake_log: List[ClientHello] = []
+
+    # -- handshake --------------------------------------------------------
+
+    def handle_connection(self, client_hello: ClientHello) -> TlsResult:
+        self.handshake_log.append(client_hello)
+        if client_hello.ech_is_grease:
+            # Servers ignore GREASE ECH and proceed with the outer hello
+            # (they MUST NOT send retry_configs for it).
+            return self._plain_handshake(client_hello)
+        if client_hello.ech_payload is not None and self.ech_keypairs:
+            return self._handle_ech(client_hello)
+        # No ECH in play (or server has no keys → extension ignored,
+        # standard TLS against the outer SNI).
+        return self._plain_handshake(client_hello, ech_offered=client_hello.ech_payload is not None)
+
+    def _plain_handshake(self, client_hello: ClientHello, ech_offered: bool = False) -> TlsResult:
+        alpn = self._negotiate_alpn(client_hello.alpn)
+        if alpn is None and client_hello.alpn:
+            return TlsResult(
+                connected=False,
+                sni_used=client_hello.sni,
+                ech_offered=ech_offered,
+                error="no_application_protocol",
+                served_by=self.name,
+            )
+        valid = self.certificate.covers(client_hello.sni)
+        return TlsResult(
+            connected=valid,
+            sni_used=client_hello.sni,
+            alpn=alpn,
+            certificate=self.certificate,
+            cert_valid_for_sni=valid,
+            ech_offered=ech_offered,
+            ech_accepted=False,
+            error=None if valid else "certificate_name_mismatch",
+            served_by=self.name,
+        )
+
+    def _handle_ech(self, client_hello: ClientHello) -> TlsResult:
+        inner_sni = None
+        for keypair in self.ech_keypairs:
+            try:
+                inner_sni = open_(
+                    keypair,
+                    ECH_INFO,
+                    aad=client_hello.sni.encode(),
+                    sealed=client_hello.ech_payload,
+                ).decode()
+                break
+            except HpkeError:
+                continue
+        if inner_sni is None:
+            # Decryption failure: reject, optionally offering retry configs.
+            result = self._plain_handshake(client_hello, ech_offered=True)
+            result.ech_accepted = False
+            if self.retry_enabled and self.ech_retry_wire is not None:
+                result.retry_configs = self.ech_retry_wire
+            return result
+        # Successful decryption: route to the intended (inner) service.
+        backend = self.backends.get(inner_sni.rstrip(".").lower())
+        target = backend if backend is not None else self
+        alpn = target._negotiate_alpn(client_hello.alpn)
+        valid = target.certificate.covers(inner_sni)
+        return TlsResult(
+            connected=valid and (alpn is not None or not client_hello.alpn),
+            sni_used=inner_sni,
+            alpn=alpn,
+            certificate=target.certificate,
+            cert_valid_for_sni=valid,
+            ech_offered=True,
+            ech_accepted=True,
+            error=None if valid else "certificate_name_mismatch",
+            served_by=target.name,
+        )
+
+    def _negotiate_alpn(self, offered: Tuple[str, ...]) -> Optional[str]:
+        if not offered:
+            return self.alpn[0] if self.alpn else None
+        for protocol in offered:
+            if protocol in self.alpn:
+                return protocol
+        return None
+
+    def __repr__(self) -> str:
+        return f"WebServer({self.name}, alpn={self.alpn})"

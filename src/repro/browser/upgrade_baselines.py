@@ -1,0 +1,198 @@
+"""Baseline HTTP→HTTPS upgrade mechanisms.
+
+The paper's introduction motivates the HTTPS RR against the status quo:
+a browser that doesn't know a site supports HTTPS first sends a
+plaintext HTTP request and follows a redirect — an attack window HSTS
+(RFC 6797), the manually-curated preload list, and Alt-Svc (RFC 7838)
+only partially close. This module implements those mechanisms so the
+benchmark harness can quantify the comparison the intro makes in prose:
+plaintext exposures and round trips per visit, mechanism by mechanism.
+
+Simplified RTT accounting (constants below): DNS lookups are assumed
+parallelized (HTTPS RR rides along with A at no extra round trip), the
+TCP+TLS setup is charged as two units, and a plaintext redirect costs
+one TCP setup plus the HTTP exchange.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+# Mechanisms.
+MECH_REDIRECT = "http-redirect"  # status quo: plaintext probe + 301
+MECH_HSTS = "hsts"
+MECH_HSTS_PRELOAD = "hsts-preload"
+MECH_ALT_SVC = "alt-svc"
+MECH_HTTPS_RR = "https-rr"
+
+ALL_MECHANISMS = (MECH_REDIRECT, MECH_HSTS, MECH_HSTS_PRELOAD, MECH_ALT_SVC, MECH_HTTPS_RR)
+
+# Round-trip costs (units, not milliseconds).
+RTT_TCP = 1
+RTT_TLS = 1
+RTT_HTTP_EXCHANGE = 1
+
+
+@dataclass
+class HstsPolicy:
+    max_age: float
+    include_subdomains: bool = False
+
+
+class HstsStore:
+    """A browser's dynamic HSTS store plus the static preload list."""
+
+    def __init__(self, preload: Sequence[str] = ()):
+        self._dynamic: Dict[str, Tuple[float, HstsPolicy]] = {}
+        self._preload: Set[str] = {h.rstrip(".").lower() for h in preload}
+
+    def note_header(self, host: str, policy: HstsPolicy, now: float) -> None:
+        host = host.rstrip(".").lower()
+        if policy.max_age <= 0:
+            self._dynamic.pop(host, None)
+            return
+        self._dynamic[host] = (now + policy.max_age, policy)
+
+    def must_use_https(self, host: str, now: float) -> bool:
+        host = host.rstrip(".").lower()
+        if host in self._preload:
+            return True
+        labels = host.split(".")
+        for i in range(len(labels)):
+            candidate = ".".join(labels[i:])
+            entry = self._dynamic.get(candidate)
+            if entry is None:
+                continue
+            expiry, policy = entry
+            if expiry <= now:
+                continue
+            if candidate == host or policy.include_subdomains:
+                return True
+        return False
+
+    def __contains__(self, host: str) -> bool:
+        return host.rstrip(".").lower() in self._preload or host.rstrip(".").lower() in self._dynamic
+
+
+class AltSvcCache:
+    """Per-origin Alt-Svc entries (RFC 7838), learned from responses."""
+
+    def __init__(self):
+        self._entries: Dict[str, Tuple[float, str, int]] = {}
+
+    def note_header(self, host: str, protocol: str, port: int, max_age: float, now: float) -> None:
+        self._entries[host.rstrip(".").lower()] = (now + max_age, protocol, port)
+
+    def lookup(self, host: str, now: float) -> Optional[Tuple[str, int]]:
+        entry = self._entries.get(host.rstrip(".").lower())
+        if entry is None or entry[0] <= now:
+            return None
+        return entry[1], entry[2]
+
+
+@dataclass
+class VisitOutcome:
+    """What one navigation cost."""
+
+    mechanism: str
+    visit_number: int
+    plaintext_requests: int
+    round_trips: int
+    final_scheme: str
+    mitm_window: bool  # a plaintext request an attacker could intercept
+
+
+@dataclass
+class SiteConfig:
+    """The (upgrade-relevant) server-side posture of one site."""
+
+    host: str
+    supports_https: bool = True
+    sends_hsts: bool = True
+    hsts_max_age: float = 31536000.0
+    preloaded: bool = False
+    sends_alt_svc: bool = True
+    alt_svc_protocol: str = "h3"
+    publishes_https_rr: bool = True
+
+
+class UpgradeSimulator:
+    """Replays visit sequences under each mechanism and accounts costs."""
+
+    def __init__(self, site: SiteConfig):
+        self.site = site
+        self.hsts = HstsStore(preload=[site.host] if site.preloaded else [])
+        self.alt_svc = AltSvcCache()
+        self.now = 0.0
+
+    def _secure_connect(self) -> int:
+        return RTT_TCP + RTT_TLS + RTT_HTTP_EXCHANGE
+
+    def _plain_probe_and_redirect(self) -> int:
+        # TCP, plaintext GET, 301 response, then the HTTPS connection.
+        return RTT_TCP + RTT_HTTP_EXCHANGE + self._secure_connect()
+
+    def visit(self, mechanism: str, visit_number: int) -> VisitOutcome:
+        """One address-bar navigation (`a.com`, no scheme typed)."""
+        site = self.site
+        self.now += 60.0
+        if mechanism not in ALL_MECHANISMS:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+
+        if mechanism == MECH_HTTPS_RR and site.publishes_https_rr:
+            # The HTTPS RR rides alongside the A lookup: the browser knows
+            # about HTTPS support before the first packet to the server.
+            return VisitOutcome(
+                mechanism, visit_number, 0, self._secure_connect(), "https", False
+            )
+
+        if mechanism == MECH_HSTS_PRELOAD and site.preloaded:
+            return VisitOutcome(
+                mechanism, visit_number, 0, self._secure_connect(), "https", False
+            )
+
+        if mechanism in (MECH_HSTS, MECH_HSTS_PRELOAD) and self.hsts.must_use_https(
+            site.host, self.now
+        ):
+            return VisitOutcome(
+                mechanism, visit_number, 0, self._secure_connect(), "https", False
+            )
+
+        if mechanism == MECH_ALT_SVC:
+            cached = self.alt_svc.lookup(site.host, self.now)
+            if cached is not None:
+                return VisitOutcome(
+                    mechanism, visit_number, 0, self._secure_connect(), "https", False
+                )
+
+        # Status-quo path: plaintext probe, redirect, HTTPS.
+        if not site.supports_https:
+            return VisitOutcome(
+                mechanism, visit_number, 1, RTT_TCP + RTT_HTTP_EXCHANGE, "http", True
+            )
+        round_trips = self._plain_probe_and_redirect()
+        if mechanism in (MECH_HSTS, MECH_HSTS_PRELOAD) and site.sends_hsts:
+            self.hsts.note_header(site.host, HstsPolicy(site.hsts_max_age), self.now)
+        if mechanism == MECH_ALT_SVC and site.sends_alt_svc:
+            self.alt_svc.note_header(site.host, site.alt_svc_protocol, 443, 86400.0, self.now)
+        return VisitOutcome(mechanism, visit_number, 1, round_trips, "https", True)
+
+    def run_visits(self, mechanism: str, count: int) -> List[VisitOutcome]:
+        return [self.visit(mechanism, i + 1) for i in range(count)]
+
+
+def compare_mechanisms(site: SiteConfig, visits: int = 5) -> Dict[str, Dict[str, float]]:
+    """Total plaintext exposures and round trips per mechanism over a
+    visit sequence — the intro's argument, quantified."""
+    results: Dict[str, Dict[str, float]] = {}
+    for mechanism in ALL_MECHANISMS:
+        simulator = UpgradeSimulator(site)
+        outcomes = simulator.run_visits(mechanism, visits)
+        results[mechanism] = {
+            "plaintext_requests": float(sum(o.plaintext_requests for o in outcomes)),
+            "round_trips": float(sum(o.round_trips for o in outcomes)),
+            "mitm_windows": float(sum(o.mitm_window for o in outcomes)),
+        }
+    return results

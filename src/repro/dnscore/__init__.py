@@ -1,0 +1,61 @@
+"""DNS substrate: names, rdata, RRsets, messages, wire codec.
+
+This package is a from-scratch implementation of the pieces of the DNS the
+study depends on: RFC 1035 message/wire format with name compression,
+RFC 9460 SVCB/HTTPS rdata (SvcParams live in :mod:`repro.svcb`), and the
+DNSSEC record types (RFC 4034) whose chain logic lives in
+:mod:`repro.dnssec`.
+"""
+
+from . import rdtypes
+from .names import Name, apex_of, www_of
+from .rdata import (
+    AAAARdata,
+    ARdata,
+    CNAMERdata,
+    DNSKEYRdata,
+    DSRdata,
+    GenericRdata,
+    HTTPSRdata,
+    NSRdata,
+    Rdata,
+    RdataError,
+    RRSIGRdata,
+    SOARdata,
+    SVCBRdata,
+    TXTRdata,
+    rdata_from_text,
+    rdata_from_wire,
+)
+from .message import Message, Question
+from .rrset import RRset
+from .wire import WireError, WireReader, WireWriter
+
+__all__ = [
+    "rdtypes",
+    "Name",
+    "apex_of",
+    "www_of",
+    "Rdata",
+    "RdataError",
+    "ARdata",
+    "AAAARdata",
+    "CNAMERdata",
+    "NSRdata",
+    "SOARdata",
+    "TXTRdata",
+    "DNSKEYRdata",
+    "DSRdata",
+    "RRSIGRdata",
+    "SVCBRdata",
+    "HTTPSRdata",
+    "GenericRdata",
+    "rdata_from_text",
+    "rdata_from_wire",
+    "Message",
+    "Question",
+    "RRset",
+    "WireError",
+    "WireReader",
+    "WireWriter",
+]

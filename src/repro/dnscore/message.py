@@ -1,0 +1,263 @@
+"""DNS message model and wire codec (RFC 1035 section 4).
+
+Supports the header flags relevant to the study — notably AD (Authenticated
+Data, RFC 3655/4035) which the scanner records for DNSSEC analysis — and the
+four sections. Records in a section are grouped into RRsets on parse.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from . import rdtypes
+from .names import Name
+from .rdata import Rdata, rdata_from_wire
+from .rrset import RRset
+from .wire import WireError, WireReader, WireWriter
+
+FLAG_QR = 0x8000
+FLAG_AA = 0x0400
+FLAG_TC = 0x0200
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+FLAG_AD = 0x0020
+FLAG_CD = 0x0010
+
+
+class Question:
+    """A single question section entry."""
+
+    def __init__(self, name: Name, rdtype: int, rdclass: int = rdtypes.IN):
+        if not isinstance(name, Name):
+            name = Name.from_text(str(name))
+        self.name = name
+        self.rdtype = rdtype
+        self.rdclass = rdclass
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Question):
+            return NotImplemented
+        return (self.name, self.rdtype, self.rdclass) == (other.name, other.rdtype, other.rdclass)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.rdtype, self.rdclass))
+
+    def __repr__(self) -> str:
+        return f"Question({self.name.to_text()} {rdtypes.type_to_text(self.rdtype)})"
+
+
+class Message:
+    """A DNS query or response."""
+
+    def __init__(self, msg_id: int = 0):
+        self.msg_id = msg_id & 0xFFFF
+        self.flags = 0
+        self.rcode = rdtypes.NOERROR
+        self.opcode = rdtypes.QUERY
+        self.questions: List[Question] = []
+        self.answers: List[RRset] = []
+        self.authority: List[RRset] = []
+        self.additional: List[RRset] = []
+        # EDNS0 (RFC 6891): carried as an OPT pseudo-RR on the wire.
+        self.use_edns = False
+        self.edns_payload_size = 1232
+        self.dnssec_ok = False  # the DO bit — ask for RRSIGs
+
+    # -- flag helpers ------------------------------------------------------
+
+    def _flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    def _set_flag(self, mask: int, value: bool) -> None:
+        if value:
+            self.flags |= mask
+        else:
+            self.flags &= ~mask
+
+    @property
+    def is_response(self) -> bool:
+        return self._flag(FLAG_QR)
+
+    @is_response.setter
+    def is_response(self, value: bool) -> None:
+        self._set_flag(FLAG_QR, value)
+
+    @property
+    def authoritative(self) -> bool:
+        return self._flag(FLAG_AA)
+
+    @authoritative.setter
+    def authoritative(self, value: bool) -> None:
+        self._set_flag(FLAG_AA, value)
+
+    @property
+    def truncated(self) -> bool:
+        return self._flag(FLAG_TC)
+
+    @truncated.setter
+    def truncated(self, value: bool) -> None:
+        self._set_flag(FLAG_TC, value)
+
+    @property
+    def recursion_desired(self) -> bool:
+        return self._flag(FLAG_RD)
+
+    @recursion_desired.setter
+    def recursion_desired(self, value: bool) -> None:
+        self._set_flag(FLAG_RD, value)
+
+    @property
+    def recursion_available(self) -> bool:
+        return self._flag(FLAG_RA)
+
+    @recursion_available.setter
+    def recursion_available(self, value: bool) -> None:
+        self._set_flag(FLAG_RA, value)
+
+    @property
+    def authenticated_data(self) -> bool:
+        return self._flag(FLAG_AD)
+
+    @authenticated_data.setter
+    def authenticated_data(self, value: bool) -> None:
+        self._set_flag(FLAG_AD, value)
+
+    @property
+    def checking_disabled(self) -> bool:
+        return self._flag(FLAG_CD)
+
+    @checking_disabled.setter
+    def checking_disabled(self, value: bool) -> None:
+        self._set_flag(FLAG_CD, value)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def make_query(cls, name, rdtype: int, msg_id: int = 0, want_dnssec: bool = False) -> "Message":
+        query = cls(msg_id)
+        query.recursion_desired = True
+        if want_dnssec:
+            query.use_edns = True
+            query.dnssec_ok = True
+        query.questions.append(Question(name, rdtype))
+        return query
+
+    def make_response(self) -> "Message":
+        response = Message(self.msg_id)
+        response.is_response = True
+        response.recursion_desired = self.recursion_desired
+        response.questions = list(self.questions)
+        # EDNS is negotiated: a server answers with EDNS iff asked with it.
+        response.use_edns = self.use_edns
+        response.dnssec_ok = self.dnssec_ok
+        return response
+
+    # -- section access -------------------------------------------------------
+
+    def find_rrset(self, section: List[RRset], name: Name, rdtype: int) -> Optional[RRset]:
+        for rrset in section:
+            if rrset.name == name and rrset.rdtype == rdtype:
+                return rrset
+        return None
+
+    def get_answer(self, name, rdtype: int) -> Optional[RRset]:
+        if not isinstance(name, Name):
+            name = Name.from_text(str(name))
+        return self.find_rrset(self.answers, name, rdtype)
+
+    def answer_rrsets_of_type(self, rdtype: int) -> List[RRset]:
+        return [rrset for rrset in self.answers if rrset.rdtype == rdtype]
+
+    # -- wire codec ------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        writer = WireWriter()
+        flags = (self.flags & 0x7FB0) | ((self.opcode & 0xF) << 11) | (self.rcode & 0xF)
+        if self.is_response:
+            flags |= FLAG_QR
+        writer.write_u16(self.msg_id)
+        writer.write_u16(flags)
+        writer.write_u16(len(self.questions))
+        counts = []
+        for section in (self.answers, self.authority, self.additional):
+            counts.append(sum(len(rrset) for rrset in section))
+        if self.use_edns:
+            counts[2] += 1  # the OPT pseudo-RR rides in ADDITIONAL
+        for count in counts:
+            writer.write_u16(count)
+        for question in self.questions:
+            writer.write_name(question.name)
+            writer.write_u16(question.rdtype)
+            writer.write_u16(question.rdclass)
+        for section in (self.answers, self.authority, self.additional):
+            for rrset in section:
+                for rdata in rrset:
+                    writer.write_name(rrset.name)
+                    writer.write_u16(rrset.rdtype)
+                    writer.write_u16(rrset.rdclass)
+                    writer.write_u32(rrset.ttl)
+                    rdlength_offset = writer.reserve_u16()
+                    before = len(writer)
+                    rdata.to_wire(writer)
+                    writer.patch_u16(rdlength_offset, len(writer) - before)
+        if self.use_edns:
+            # OPT RR (RFC 6891): root owner; CLASS carries the payload
+            # size; the high TTL bits carry ext-rcode/version, the low 16
+            # the flags (DO = 0x8000).
+            writer.write_name(Name.root())
+            writer.write_u16(rdtypes.OPT)
+            writer.write_u16(self.edns_payload_size)
+            writer.write_u32(0x8000 if self.dnssec_ok else 0)
+            writer.write_u16(0)  # no EDNS options
+        return writer.getvalue()
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        if len(data) < 12:
+            raise WireError("message shorter than header")
+        reader = WireReader(data)
+        msg = cls(reader.read_u16())
+        flags = reader.read_u16()
+        msg.flags = flags & 0x7FB0
+        if flags & FLAG_QR:
+            msg.is_response = True
+        msg.opcode = (flags >> 11) & 0xF
+        msg.rcode = flags & 0xF
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        for _ in range(qdcount):
+            name = reader.read_name()
+            rdtype = reader.read_u16()
+            rdclass = reader.read_u16()
+            msg.questions.append(Question(name, rdtype, rdclass))
+        for count, section in ((ancount, msg.answers), (nscount, msg.authority), (arcount, msg.additional)):
+            for _ in range(count):
+                name = reader.read_name()
+                rdtype = reader.read_u16()
+                rdclass = reader.read_u16()
+                ttl = reader.read_u32()
+                rdlength = reader.read_u16()
+                if rdtype == rdtypes.OPT:
+                    reader.read_bytes(rdlength)
+                    msg.use_edns = True
+                    msg.edns_payload_size = rdclass
+                    msg.dnssec_ok = bool(ttl & 0x8000)
+                    continue
+                rdata = rdata_from_wire(rdtype, reader, rdlength)
+                rrset = msg.find_rrset(section, name, rdtype)
+                if rrset is None or rrset.ttl != ttl:
+                    rrset = RRset(name, rdtype, ttl, rdclass=rdclass)
+                    section.append(rrset)
+                rrset.add(rdata)
+        return msg
+
+    def __repr__(self) -> str:
+        question = self.questions[0] if self.questions else None
+        return (
+            f"Message(id={self.msg_id}, {'response' if self.is_response else 'query'}, "
+            f"rcode={rdtypes.rcode_to_text(self.rcode)}, q={question}, "
+            f"an={len(self.answers)} rrsets)"
+        )

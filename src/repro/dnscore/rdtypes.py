@@ -1,0 +1,73 @@
+"""DNS record type and class constants plus rcode/opcode values."""
+
+from __future__ import annotations
+
+# RR types (subset used by the study).
+A = 1
+NS = 2
+CNAME = 5
+SOA = 6
+TXT = 16
+AAAA = 28
+OPT = 41  # EDNS0 pseudo-RR (RFC 6891)
+DS = 43
+RRSIG = 46
+DNSKEY = 48
+SVCB = 64
+HTTPS = 65
+
+_TYPE_NAMES = {
+    A: "A",
+    NS: "NS",
+    CNAME: "CNAME",
+    SOA: "SOA",
+    TXT: "TXT",
+    AAAA: "AAAA",
+    OPT: "OPT",
+    DS: "DS",
+    RRSIG: "RRSIG",
+    DNSKEY: "DNSKEY",
+    SVCB: "SVCB",
+    HTTPS: "HTTPS",
+}
+_NAME_TYPES = {name: value for value, name in _TYPE_NAMES.items()}
+
+# Classes.
+IN = 1
+
+# Rcodes.
+NOERROR = 0
+FORMERR = 1
+SERVFAIL = 2
+NXDOMAIN = 3
+NOTIMP = 4
+REFUSED = 5
+
+_RCODE_NAMES = {
+    NOERROR: "NOERROR",
+    FORMERR: "FORMERR",
+    SERVFAIL: "SERVFAIL",
+    NXDOMAIN: "NXDOMAIN",
+    NOTIMP: "NOTIMP",
+    REFUSED: "REFUSED",
+}
+
+# Opcodes.
+QUERY = 0
+
+
+def type_to_text(rdtype: int) -> str:
+    return _TYPE_NAMES.get(rdtype, f"TYPE{rdtype}")
+
+
+def text_to_type(text: str) -> int:
+    text = text.upper()
+    if text in _NAME_TYPES:
+        return _NAME_TYPES[text]
+    if text.startswith("TYPE"):
+        return int(text[4:])
+    raise ValueError(f"unknown RR type {text!r}")
+
+
+def rcode_to_text(rcode: int) -> str:
+    return _RCODE_NAMES.get(rcode, f"RCODE{rcode}")

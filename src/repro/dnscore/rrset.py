@@ -1,0 +1,115 @@
+"""RRsets: a name + type + TTL + one or more rdatas (RFC 2181 section 5)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from . import rdtypes
+from .names import Name
+from .rdata import Rdata, rdata_from_text
+
+
+class RRset:
+    """A mutable resource record set.
+
+    All rdatas share the name, type, class, and TTL (RFC 2181 requires a
+    uniform TTL across an RRset).
+    """
+
+    def __init__(
+        self,
+        name: Name,
+        rdtype: int,
+        ttl: int,
+        rdatas: Iterable[Rdata] = (),
+        rdclass: int = rdtypes.IN,
+    ):
+        if not isinstance(name, Name):
+            name = Name.from_text(str(name))
+        self.name = name
+        self.rdtype = rdtype
+        self.ttl = ttl
+        self.rdclass = rdclass
+        self._rdatas: List[Rdata] = []
+        for rdata in rdatas:
+            self.add(rdata)
+
+    @classmethod
+    def from_text(cls, name: str, ttl: int, rdtype_text: str, *rdata_texts: str) -> "RRset":
+        rdtype = rdtypes.text_to_type(rdtype_text)
+        rrset = cls(Name.from_text(name), rdtype, ttl)
+        for text in rdata_texts:
+            rrset.add(rdata_from_text(rdtype, text))
+        return rrset
+
+    def add(self, rdata: Rdata) -> None:
+        if rdata.rdtype != self.rdtype:
+            raise ValueError(
+                f"rdata type {rdata.rdtype} does not match RRset type {self.rdtype}"
+            )
+        if rdata not in self._rdatas:
+            self._rdatas.append(rdata)
+
+    def remove(self, rdata: Rdata) -> None:
+        self._rdatas.remove(rdata)
+
+    @property
+    def rdatas(self) -> List[Rdata]:
+        return list(self._rdatas)
+
+    def __len__(self) -> int:
+        return len(self._rdatas)
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self._rdatas)
+
+    def __getitem__(self, index: int) -> Rdata:
+        return self._rdatas[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RRset):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.rdtype == other.rdtype
+            and self.rdclass == other.rdclass
+            and self.ttl == other.ttl
+            and sorted(r.wire_bytes() for r in self._rdatas)
+            == sorted(r.wire_bytes() for r in other._rdatas)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.name,
+                self.rdtype,
+                self.rdclass,
+                self.ttl,
+                tuple(sorted(r.wire_bytes() for r in self._rdatas)),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"RRset({self.to_text()!r})"
+
+    def to_text(self) -> str:
+        type_text = rdtypes.type_to_text(self.rdtype)
+        lines = [
+            f"{self.name.to_text()} {self.ttl} IN {type_text} {rdata.to_text()}"
+            for rdata in self._rdatas
+        ]
+        return "\n".join(lines)
+
+    def copy(self, ttl: Optional[int] = None) -> "RRset":
+        return RRset(
+            self.name,
+            self.rdtype,
+            self.ttl if ttl is None else ttl,
+            self._rdatas,
+            self.rdclass,
+        )
+
+    def canonical_rdata_order(self) -> List[Rdata]:
+        """Rdatas sorted by canonical wire form (RFC 4034 section 6.3),
+        as used when constructing signature input."""
+        return sorted(self._rdatas, key=lambda rdata: rdata.wire_bytes())

@@ -1,0 +1,151 @@
+"""Low-level DNS wire-format reader/writer.
+
+The writer supports RFC 1035 name compression; the reader follows
+compression pointers with loop protection.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from .names import BadPointer, Name
+
+_MAX_POINTER_HOPS = 128
+_POINTER_MASK = 0xC000
+
+
+class WireError(ValueError):
+    """Raised on truncated or malformed wire data."""
+
+
+class WireWriter:
+    """Accumulates a DNS message, compressing names against earlier output."""
+
+    def __init__(self, enable_compression: bool = True):
+        self._buf = bytearray()
+        self._offsets: Dict[Tuple[bytes, ...], int] = {}
+        self._enable_compression = enable_compression
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def write_u8(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def write_u16(self, value: int) -> None:
+        self._buf.extend(struct.pack("!H", value & 0xFFFF))
+
+    def write_u32(self, value: int) -> None:
+        self._buf.extend(struct.pack("!I", value & 0xFFFFFFFF))
+
+    def write_name(self, name: Name, compress: bool = True) -> None:
+        """Write *name*, emitting a compression pointer for any suffix
+        already present in the message."""
+        labels = name.labels
+        for i in range(len(labels)):
+            suffix = tuple(label.lower() for label in labels[i:])
+            if suffix == (b"",):
+                break
+            offset = self._offsets.get(suffix) if (compress and self._enable_compression) else None
+            if offset is not None and offset < 0x4000:
+                self._buf.extend(struct.pack("!H", _POINTER_MASK | offset))
+                return
+            if len(self._buf) < 0x4000:
+                self._offsets[suffix] = len(self._buf)
+            label = labels[i]
+            self._buf.append(len(label))
+            self._buf.extend(label)
+        self._buf.append(0)
+
+    def reserve_u16(self) -> int:
+        """Reserve two bytes (e.g. for RDLENGTH) and return their offset."""
+        offset = len(self._buf)
+        self._buf.extend(b"\x00\x00")
+        return offset
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        struct.pack_into("!H", self._buf, offset, value & 0xFFFF)
+
+
+class WireReader:
+    """Sequential reader over a full DNS message (needed for pointers)."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._pos = offset
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def seek(self, offset: int) -> None:
+        if not 0 <= offset <= len(self._data):
+            raise WireError(f"seek to {offset} outside message of {len(self._data)} bytes")
+        self._pos = offset
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def read_bytes(self, count: int) -> bytes:
+        if self.remaining() < count:
+            raise WireError(f"wanted {count} bytes, only {self.remaining()} remain")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_u8(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read_bytes(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read_bytes(4))[0]
+
+    def read_name(self) -> Name:
+        """Read a possibly-compressed name starting at the current offset."""
+        labels = []
+        jumped = False
+        hops = 0
+        pos = self._pos
+        total = 0
+        while True:
+            if pos >= len(self._data):
+                raise WireError("name runs past end of message")
+            length = self._data[pos]
+            if length & 0xC0 == 0xC0:
+                if pos + 1 >= len(self._data):
+                    raise WireError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | self._data[pos + 1]
+                hops += 1
+                if hops > _MAX_POINTER_HOPS:
+                    raise BadPointer("compression pointer loop")
+                if not jumped:
+                    self._pos = pos + 2
+                    jumped = True
+                if target >= pos:
+                    raise BadPointer("forward compression pointer")
+                pos = target
+                continue
+            if length & 0xC0:
+                raise WireError(f"reserved label type 0x{length & 0xC0:02x}")
+            if length == 0:
+                labels.append(b"")
+                if not jumped:
+                    self._pos = pos + 1
+                break
+            if pos + 1 + length > len(self._data):
+                raise WireError("label runs past end of message")
+            total += length + 1
+            if total > 255:
+                raise WireError("decoded name exceeds 255 octets")
+            labels.append(self._data[pos + 1 : pos + 1 + length])
+            pos += 1 + length
+        return Name(labels)

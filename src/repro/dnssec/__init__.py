@@ -1,0 +1,42 @@
+"""DNSSEC: zone keys, RRset signing, DS digests, and chain validation.
+
+The signature primitive is a documented simulation (see
+:mod:`repro.dnssec.keys`); the chain logic — DS-in-parent, KSK/ZSK roles,
+secure/insecure/bogus classification, AD-bit semantics — follows
+RFC 4033-4035.
+"""
+
+from .keys import (
+    DIGEST_TYPE_SHA256,
+    SIMULATED_ALGORITHM,
+    ZoneKey,
+    ZoneKeySet,
+    ds_digest,
+    ds_matches_dnskey,
+    verify_blob,
+)
+from .signing import DEFAULT_VALIDITY, rrsig_is_timely, sign_rrset, signing_input
+from .validation import (
+    ChainValidator,
+    RecordSource,
+    ValidationResult,
+    ValidationState,
+)
+
+__all__ = [
+    "DIGEST_TYPE_SHA256",
+    "SIMULATED_ALGORITHM",
+    "ZoneKey",
+    "ZoneKeySet",
+    "ds_digest",
+    "ds_matches_dnskey",
+    "verify_blob",
+    "DEFAULT_VALIDITY",
+    "rrsig_is_timely",
+    "sign_rrset",
+    "signing_input",
+    "ChainValidator",
+    "RecordSource",
+    "ValidationResult",
+    "ValidationState",
+]

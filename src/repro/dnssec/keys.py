@@ -1,0 +1,101 @@
+"""DNSSEC key material and the simulated signature scheme.
+
+Substitution note (see DESIGN.md): real DNSSEC uses asymmetric signatures
+(RSA/ECDSA). Offline and stdlib-only, we use a deterministic keyed-MAC
+scheme where the DNSKEY "public key" doubles as the MAC key:
+
+* a zone key is a 32-byte seed; its DNSKEY public key is
+  ``SHA-256("dnssec-public|" + seed)``;
+* an RRSIG signature is ``HMAC-SHA256(public_key, canonical signing data)``.
+
+Verification therefore needs only the DNSKEY record, exactly like real
+DNSSEC, and every *structural* failure mode the paper measures — missing
+DS, digest mismatch, expired or tampered RRSIG, wrong key tag — behaves
+identically. (The scheme is obviously not forgery-resistant; the simulated
+Internet contains no forgers.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+from ..dnscore.names import Name
+from ..dnscore.rdata import DNSKEYRdata, DSRdata
+
+# Private-use algorithm number (RFC 4034 reserves 253 for private algorithms).
+SIMULATED_ALGORITHM = 253
+DIGEST_TYPE_SHA256 = 2
+
+
+class ZoneKey:
+    """One zone key (KSK or ZSK)."""
+
+    def __init__(self, seed: bytes, is_ksk: bool):
+        if len(seed) < 16:
+            raise ValueError("key seed too short")
+        self.seed = bytes(seed)
+        self.is_ksk = is_ksk
+        self.public_key = hashlib.sha256(b"dnssec-public|" + self.seed).digest()
+        flags = DNSKEYRdata.FLAG_ZONE | (DNSKEYRdata.FLAG_SEP if is_ksk else 0)
+        self.dnskey = DNSKEYRdata(flags, 3, SIMULATED_ALGORITHM, self.public_key)
+        self.key_tag = self.dnskey.key_tag()
+
+    @classmethod
+    def derive(cls, zone_name: Name, role: str, generation: int = 0) -> "ZoneKey":
+        """Deterministic key for reproducible simulations."""
+        material = hashlib.sha256(
+            b"dnssec-seed|" + zone_name.to_text().lower().encode() + b"|" + role.encode()
+            + b"|" + str(generation).encode()
+        ).digest()
+        return cls(material, is_ksk=(role == "ksk"))
+
+    def sign_blob(self, data: bytes) -> bytes:
+        return hmac.new(self.public_key, data, hashlib.sha256).digest()
+
+    def ds_record(self, owner: Name) -> DSRdata:
+        digest = ds_digest(owner, self.dnskey)
+        return DSRdata(self.key_tag, SIMULATED_ALGORITHM, DIGEST_TYPE_SHA256, digest)
+
+    def __repr__(self) -> str:
+        kind = "KSK" if self.is_ksk else "ZSK"
+        return f"ZoneKey({kind}, tag={self.key_tag})"
+
+
+def ds_digest(owner: Name, dnskey: DNSKEYRdata) -> bytes:
+    """RFC 4034 section 5.1.4: digest over owner name + DNSKEY rdata."""
+    return hashlib.sha256(owner.to_wire().lower() + dnskey.wire_bytes()).digest()
+
+
+def verify_blob(dnskey: DNSKEYRdata, data: bytes, signature: bytes) -> bool:
+    """Verify a simulated signature using only the DNSKEY record."""
+    if dnskey.algorithm != SIMULATED_ALGORITHM:
+        return False
+    expected = hmac.new(dnskey.public_key, data, hashlib.sha256).digest()
+    return hmac.compare_digest(expected, signature)
+
+
+def ds_matches_dnskey(owner: Name, ds: DSRdata, dnskey: DNSKEYRdata) -> bool:
+    if ds.key_tag != dnskey.key_tag():
+        return False
+    if ds.algorithm != dnskey.algorithm:
+        return False
+    if ds.digest_type != DIGEST_TYPE_SHA256:
+        return False
+    return hmac.compare_digest(ds.digest, ds_digest(owner, dnskey))
+
+
+class ZoneKeySet:
+    """The KSK + ZSK pair a signed zone operates with."""
+
+    def __init__(self, zone_name: Name, generation: int = 0):
+        self.zone_name = zone_name
+        self.ksk = ZoneKey.derive(zone_name, "ksk", generation)
+        self.zsk = ZoneKey.derive(zone_name, "zsk", generation)
+
+    def key_for_tag(self, key_tag: int) -> Optional[ZoneKey]:
+        for key in (self.ksk, self.zsk):
+            if key.key_tag == key_tag:
+                return key
+        return None

@@ -1,0 +1,44 @@
+"""TLS Encrypted Client Hello: config format, simulated HPKE, key rotation.
+
+The HPKE internals are simulated (see :mod:`repro.ech.hpke`); the
+ECHConfigList wire format is implemented exactly per draft-ietf-tls-esni-13
+so malformed-config and version-mismatch behaviour is authentic.
+"""
+
+from .config import (
+    DEFAULT_CIPHER_SUITES,
+    ECH_VERSION_DRAFT13,
+    ECHConfig,
+    ECHConfigError,
+    ECHConfigList,
+    try_parse_config_list,
+)
+from .hpke import (
+    AEAD_AES128GCM,
+    AEAD_CHACHA20POLY1305,
+    KDF_HKDF_SHA256,
+    KEM_X25519_SHA256,
+    HpkeError,
+    HpkeKeyPair,
+    open_,
+    seal,
+)
+from .keys import ECHKeyManager
+
+__all__ = [
+    "DEFAULT_CIPHER_SUITES",
+    "ECH_VERSION_DRAFT13",
+    "ECHConfig",
+    "ECHConfigError",
+    "ECHConfigList",
+    "try_parse_config_list",
+    "AEAD_AES128GCM",
+    "AEAD_CHACHA20POLY1305",
+    "KDF_HKDF_SHA256",
+    "KEM_X25519_SHA256",
+    "HpkeError",
+    "HpkeKeyPair",
+    "open_",
+    "seal",
+    "ECHKeyManager",
+]

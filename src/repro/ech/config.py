@@ -1,0 +1,221 @@
+"""ECHConfig / ECHConfigList wire format (draft-ietf-tls-esni-13).
+
+The layout follows the draft's TLS presentation syntax::
+
+    ECHConfigList:   ECHConfig ECHConfig... with a 2-octet total length
+    ECHConfig:       u16 version (0xfe0d) + u16 length + contents
+    ECHConfigContents:
+        HpkeKeyConfig key_config
+        u8   maximum_name_length
+        opaque public_name<1..255>
+        Extension extensions<0..2^16-1>
+    HpkeKeyConfig:
+        u8   config_id
+        u16  kem_id
+        opaque public_key<1..2^16-1>
+        HpkeSymmetricCipherSuite cipher_suites<4..2^16-4>
+
+Browsers that cannot parse the list treat the record as malformed — the
+behaviour the study probes in §5.3 experiment (2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from .hpke import AEAD_AES128GCM, KDF_HKDF_SHA256, KEM_X25519_SHA256
+
+ECH_VERSION_DRAFT13 = 0xFE0D
+
+DEFAULT_CIPHER_SUITES: Tuple[Tuple[int, int], ...] = ((KDF_HKDF_SHA256, AEAD_AES128GCM),)
+DEFAULT_MAXIMUM_NAME_LENGTH = 0
+
+
+class ECHConfigError(ValueError):
+    """Malformed ECHConfig(list)."""
+
+
+class ECHConfig:
+    """A single ECH configuration."""
+
+    def __init__(
+        self,
+        config_id: int,
+        public_key: bytes,
+        public_name: str,
+        kem_id: int = KEM_X25519_SHA256,
+        cipher_suites: Sequence[Tuple[int, int]] = DEFAULT_CIPHER_SUITES,
+        maximum_name_length: int = DEFAULT_MAXIMUM_NAME_LENGTH,
+        extensions: bytes = b"",
+        version: int = ECH_VERSION_DRAFT13,
+    ):
+        if not 0 <= config_id <= 0xFF:
+            raise ECHConfigError(f"config_id {config_id} out of range")
+        if not public_key:
+            raise ECHConfigError("public_key must not be empty")
+        if not 1 <= len(public_name.encode()) <= 255:
+            raise ECHConfigError("public_name must be 1..255 octets")
+        if not cipher_suites:
+            raise ECHConfigError("at least one cipher suite required")
+        self.config_id = config_id
+        self.public_key = bytes(public_key)
+        self.public_name = public_name
+        self.kem_id = kem_id
+        self.cipher_suites = tuple((int(kdf), int(aead)) for kdf, aead in cipher_suites)
+        self.maximum_name_length = maximum_name_length
+        self.extensions = bytes(extensions)
+        self.version = version
+
+    def contents_to_wire(self) -> bytes:
+        out = bytearray()
+        out.append(self.config_id)
+        out.extend(struct.pack("!H", self.kem_id))
+        out.extend(struct.pack("!H", len(self.public_key)))
+        out.extend(self.public_key)
+        suites = b"".join(struct.pack("!HH", kdf, aead) for kdf, aead in self.cipher_suites)
+        out.extend(struct.pack("!H", len(suites)))
+        out.extend(suites)
+        out.append(self.maximum_name_length)
+        name = self.public_name.encode()
+        out.append(len(name))
+        out.extend(name)
+        out.extend(struct.pack("!H", len(self.extensions)))
+        out.extend(self.extensions)
+        return bytes(out)
+
+    def to_wire(self) -> bytes:
+        contents = self.contents_to_wire()
+        return struct.pack("!HH", self.version, len(contents)) + contents
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> Tuple["ECHConfig", int]:
+        """Parse one ECHConfig from the head of *data*; returns (config,
+        octets consumed)."""
+        if len(data) < 4:
+            raise ECHConfigError("truncated ECHConfig header")
+        version, length = struct.unpack_from("!HH", data)
+        if len(data) < 4 + length:
+            raise ECHConfigError("truncated ECHConfig contents")
+        if version != ECH_VERSION_DRAFT13:
+            raise ECHConfigError(f"unsupported ECH version 0x{version:04x}")
+        body = data[4 : 4 + length]
+        pos = 0
+
+        def need(count: int) -> bytes:
+            nonlocal pos
+            if pos + count > len(body):
+                raise ECHConfigError("truncated ECHConfig field")
+            chunk = body[pos : pos + count]
+            pos += count
+            return chunk
+
+        config_id = need(1)[0]
+        kem_id = struct.unpack("!H", need(2))[0]
+        pk_len = struct.unpack("!H", need(2))[0]
+        if pk_len == 0:
+            raise ECHConfigError("empty public key")
+        public_key = need(pk_len)
+        suites_len = struct.unpack("!H", need(2))[0]
+        if suites_len % 4 or suites_len == 0:
+            raise ECHConfigError("bad cipher suite list length")
+        suites_raw = need(suites_len)
+        suites = [
+            struct.unpack_from("!HH", suites_raw, i) for i in range(0, suites_len, 4)
+        ]
+        maximum_name_length = need(1)[0]
+        name_len = need(1)[0]
+        if name_len == 0:
+            raise ECHConfigError("empty public name")
+        public_name = need(name_len).decode("utf-8", "replace")
+        ext_len = struct.unpack("!H", need(2))[0]
+        extensions = need(ext_len)
+        if pos != len(body):
+            raise ECHConfigError("trailing garbage inside ECHConfig")
+        config = cls(
+            config_id,
+            public_key,
+            public_name,
+            kem_id=kem_id,
+            cipher_suites=suites,
+            maximum_name_length=maximum_name_length,
+            extensions=extensions,
+            version=version,
+        )
+        return config, 4 + length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ECHConfig):
+            return NotImplemented
+        return self.to_wire() == other.to_wire()
+
+    def __hash__(self) -> int:
+        return hash(self.to_wire())
+
+    def __repr__(self) -> str:
+        return (
+            f"ECHConfig(id={self.config_id}, public_name={self.public_name!r}, "
+            f"key={self.public_key.hex()[:12]}...)"
+        )
+
+
+class ECHConfigList:
+    """An ordered list of ECHConfigs, as carried in the ``ech`` SvcParam."""
+
+    def __init__(self, configs: Sequence[ECHConfig]):
+        if not configs:
+            raise ECHConfigError("ECHConfigList must not be empty")
+        self.configs = list(configs)
+
+    def to_wire(self) -> bytes:
+        body = b"".join(config.to_wire() for config in self.configs)
+        return struct.pack("!H", len(body)) + body
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "ECHConfigList":
+        if len(data) < 2:
+            raise ECHConfigError("truncated ECHConfigList length")
+        (length,) = struct.unpack_from("!H", data)
+        if length != len(data) - 2:
+            raise ECHConfigError(
+                f"ECHConfigList length {length} does not match payload {len(data) - 2}"
+            )
+        body = data[2:]
+        configs = []
+        pos = 0
+        while pos < len(body):
+            config, consumed = ECHConfig.from_wire(body[pos:])
+            configs.append(config)
+            pos += consumed
+        return cls(configs)
+
+    def primary(self) -> ECHConfig:
+        return self.configs[0]
+
+    def find_by_id(self, config_id: int) -> Optional[ECHConfig]:
+        for config in self.configs:
+            if config.config_id == config_id:
+                return config
+        return None
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ECHConfigList):
+            return NotImplemented
+        return self.to_wire() == other.to_wire()
+
+    def __repr__(self) -> str:
+        return f"ECHConfigList({self.configs!r})"
+
+
+def try_parse_config_list(data: bytes) -> Optional[ECHConfigList]:
+    """Parse an ech SvcParam value; None when malformed (browser view)."""
+    try:
+        return ECHConfigList.from_wire(data)
+    except ECHConfigError:
+        return None

@@ -1,0 +1,96 @@
+"""Simulated HPKE (RFC 9180) for ECH.
+
+We cannot use real X25519/AEAD primitives offline with only the standard
+library, so this module implements a *structurally faithful* stand-in:
+
+* key pairs are (private seed, public key = SHA-256(seed));
+* ``seal`` produces ``enc || ciphertext`` where the ciphertext is the
+  plaintext XORed with a SHA-256-based keystream and authenticated with an
+  HMAC tag keyed by the recipient public key and the AAD;
+* ``open`` succeeds only when the recipient holds a private key whose
+  public key matches the one the sender encrypted to — a key mismatch
+  fails authentication exactly like a real HPKE open failure.
+
+This preserves the property the study depends on: an ECH ClientHelloInner
+can be decrypted only by the server holding the key matching the
+ECHConfig the client used, and stale/rotated keys cause a decryption
+failure that triggers the retry-configuration flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Optional, Tuple
+
+# Algorithm identifiers carried in ECHConfig (values from RFC 9180).
+KEM_X25519_SHA256 = 0x0020
+KDF_HKDF_SHA256 = 0x0001
+AEAD_AES128GCM = 0x0001
+AEAD_CHACHA20POLY1305 = 0x0003
+
+_TAG_LENGTH = 16
+_ENC_LENGTH = 32
+
+
+class HpkeError(Exception):
+    """Seal/open failure (authentication or format)."""
+
+
+class HpkeKeyPair:
+    """A simulated KEM key pair."""
+
+    def __init__(self, private_seed: bytes):
+        if len(private_seed) != 32:
+            raise ValueError("private seed must be 32 bytes")
+        self.private_seed = bytes(private_seed)
+        self.public_key = hashlib.sha256(b"hpke-public|" + private_seed).digest()
+
+    @classmethod
+    def generate(cls, rng_seed: Optional[bytes] = None) -> "HpkeKeyPair":
+        if rng_seed is not None:
+            seed = hashlib.sha256(b"hpke-seed|" + rng_seed).digest()
+        else:
+            seed = os.urandom(32)
+        return cls(seed)
+
+    def matches_public(self, public_key: bytes) -> bool:
+        return hmac.compare_digest(self.public_key, public_key)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(4, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def seal(recipient_public_key: bytes, info: bytes, aad: bytes, plaintext: bytes) -> bytes:
+    """Encrypt *plaintext* to the holder of *recipient_public_key*.
+
+    Returns ``enc || tag || ciphertext``; ``enc`` is the ephemeral share.
+    """
+    enc = os.urandom(_ENC_LENGTH)
+    shared = hashlib.sha256(b"hpke-shared|" + recipient_public_key + enc + info).digest()
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, _keystream(shared, b"stream", len(plaintext))))
+    tag = hmac.new(shared, aad + ciphertext, hashlib.sha256).digest()[:_TAG_LENGTH]
+    return enc + tag + ciphertext
+
+
+def open_(keypair: HpkeKeyPair, info: bytes, aad: bytes, sealed: bytes) -> bytes:
+    """Decrypt output of :func:`seal`. Raises :class:`HpkeError` when the
+    key pair does not match the key the sender encrypted to, or on tamper."""
+    if len(sealed) < _ENC_LENGTH + _TAG_LENGTH:
+        raise HpkeError("sealed blob too short")
+    enc = sealed[:_ENC_LENGTH]
+    tag = sealed[_ENC_LENGTH : _ENC_LENGTH + _TAG_LENGTH]
+    ciphertext = sealed[_ENC_LENGTH + _TAG_LENGTH :]
+    shared = hashlib.sha256(b"hpke-shared|" + keypair.public_key + enc + info).digest()
+    expected = hmac.new(shared, aad + ciphertext, hashlib.sha256).digest()[:_TAG_LENGTH]
+    if not hmac.compare_digest(tag, expected):
+        raise HpkeError("authentication failed (wrong key or tampered data)")
+    return bytes(a ^ b for a, b in zip(ciphertext, _keystream(shared, b"stream", len(ciphertext))))

@@ -1,0 +1,6 @@
+"""HTTPS-record management automation (the paper's §7 proposal)."""
+
+from .linter import Finding, Severity, lint_zone
+from .autopilot import AutoPilot, FixAction
+
+__all__ = ["Finding", "Severity", "lint_zone", "AutoPilot", "FixAction"]

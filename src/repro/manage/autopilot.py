@@ -1,0 +1,146 @@
+"""HTTPS-record autopilot: detect-and-repair, Certbot style.
+
+Where the linter reports, the autopilot fixes: it re-synchronizes IP
+hints with the zone's address records and re-publishes the current ECH
+config from the key manager — the two renewals the paper identifies as
+the recurring operational burden (hint drift from address changes,
+§4.3.5; ECH key rotation every 1–2 hours, §4.4.2). Run it on a schedule
+shorter than the record TTL and the inconsistency windows the paper
+measures disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..dnscore import rdtypes
+from ..dnscore.names import Name
+from ..dnscore.rdata import HTTPSRdata
+from ..dnscore.rrset import RRset
+from ..ech.keys import ECHKeyManager
+from ..svcb.params import Ech, Ipv4Hint, Ipv6Hint, SvcParam, SvcParams, KEY_ECH, KEY_IPV4HINT, KEY_IPV6HINT
+from ..zones.zone import Zone
+from .linter import Finding, Severity, lint_zone
+
+
+@dataclass
+class FixAction:
+    code: str
+    owner: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.code} {self.owner}: {self.detail}"
+
+
+def _rebuild_params(old: SvcParams, replacements: dict) -> SvcParams:
+    """New SvcParams with the given keys replaced (None deletes)."""
+    params: List[SvcParam] = []
+    for param in old:
+        if param.key in replacements:
+            continue
+        params.append(param)
+    for key, value in replacements.items():
+        if value is not None:
+            params.append(value)
+    return SvcParams(params)
+
+
+class AutoPilot:
+    """Keeps one zone's HTTPS records consistent."""
+
+    def __init__(self, zone: Zone, ech_manager: Optional[ECHKeyManager] = None):
+        self.zone = zone
+        self.ech_manager = ech_manager
+        self.log: List[FixAction] = []
+
+    # -- one maintenance pass ------------------------------------------------
+
+    def run(self, current_hour: int = 0, resign_at: Optional[int] = None) -> List[FixAction]:
+        """Fix every fixable finding; returns the actions taken.
+
+        *resign_at*: when the zone is signed, re-sign with this inception
+        time after changing records (required — stale RRSIGs are a §4.5
+        failure of their own).
+        """
+        actions: List[FixAction] = []
+        for rrset in [r for r in self.zone.rrsets() if r.rdtype == rdtypes.HTTPS]:
+            new_rdatas = []
+            changed = False
+            for rdata in rrset:
+                if not isinstance(rdata, HTTPSRdata) or rdata.is_alias_mode:
+                    new_rdatas.append(rdata)
+                    continue
+                fixed, record_actions = self._fix_record(rrset.name, rdata, current_hour)
+                new_rdatas.append(fixed)
+                if record_actions:
+                    changed = True
+                    actions.extend(record_actions)
+            if changed:
+                replacement = RRset(rrset.name, rdtypes.HTTPS, rrset.ttl, new_rdatas)
+                self.zone.remove_rrset(rrset.name, rdtypes.HTTPS)
+                self.zone.add_rrset(replacement)
+        if actions and self.zone.signed:
+            self.zone.sign(resign_at if resign_at is not None else 0)
+            actions.append(FixAction("zone-resigned", self.zone.apex.to_text(),
+                                     "RRSIGs regenerated after record changes"))
+        self.log.extend(actions)
+        return actions
+
+    def _fix_record(self, owner: Name, rdata: HTTPSRdata, current_hour: int):
+        actions: List[FixAction] = []
+        replacements: dict = {}
+        owner_text = owner.to_text()
+
+        # Hint resync (§4.3.5): hints must mirror the address records.
+        a_rrset = self.zone.get_rrset(owner, rdtypes.A)
+        if rdata.params.ipv4hint and a_rrset is not None:
+            a_addrs = sorted(rd.address for rd in a_rrset)
+            if sorted(rdata.params.ipv4hint) != a_addrs:
+                replacements[KEY_IPV4HINT] = Ipv4Hint(a_addrs)
+                actions.append(FixAction("resync-ipv4hint", owner_text,
+                                         f"ipv4hint set to {a_addrs}"))
+        aaaa_rrset = self.zone.get_rrset(owner, rdtypes.AAAA)
+        if rdata.params.ipv6hint and aaaa_rrset is not None:
+            aaaa_addrs = sorted(rd.address for rd in aaaa_rrset)
+            if sorted(rdata.params.ipv6hint) != aaaa_addrs:
+                replacements[KEY_IPV6HINT] = Ipv6Hint(aaaa_addrs)
+                actions.append(FixAction("resync-ipv6hint", owner_text,
+                                         f"ipv6hint set to {aaaa_addrs}"))
+
+        # ECH renewal (§4.4.2): republish the currently-accepted config.
+        if rdata.params.ech is not None and self.ech_manager is not None:
+            from ..ech.config import try_parse_config_list
+
+            current_wire = self.ech_manager.published_wire(current_hour)
+            parsed = try_parse_config_list(rdata.params.ech)
+            accepted = {
+                keypair.public_key
+                for keypair in self.ech_manager.active_keypairs(current_hour)
+            }
+            stale = parsed is None or not any(
+                config.public_key in accepted for config in parsed
+            )
+            if stale:
+                replacements[KEY_ECH] = Ech(current_wire)
+                actions.append(FixAction("renew-ech", owner_text,
+                                         "republished the current ECHConfigList"))
+
+        if not replacements:
+            return rdata, []
+        fixed = HTTPSRdata(
+            rdata.priority, rdata.target, _rebuild_params(rdata.params, replacements)
+        )
+        return fixed, actions
+
+    # -- reporting --------------------------------------------------------------
+
+    def remaining_findings(self, current_hour: int = 0) -> List[Finding]:
+        """What the linter still flags after a run (unfixable-by-policy
+        items like alias-self targets need a human)."""
+        return [
+            finding
+            for finding in lint_zone(self.zone, self.ech_manager, current_hour)
+            if finding.severity is not Severity.INFO
+        ]

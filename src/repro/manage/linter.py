@@ -1,0 +1,169 @@
+"""HTTPS-record zone linter.
+
+The paper's discussion (§7) argues HTTPS-record management needs the
+ACME/Certbot treatment: the misconfigurations it measures in the wild —
+IP hints out of sync with A/AAAA records, stale or malformed ECH
+configs, self-referential AliasMode, signed zones with no DS uploaded —
+are all mechanically detectable. This linter detects every failure mode
+the paper observes, against a zone plus optional live context (the
+serving addresses and the current ECH key manager).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..dnscore import rdtypes
+from ..dnscore.names import Name
+from ..dnscore.rdata import HTTPSRdata
+from ..ech.config import try_parse_config_list
+from ..ech.keys import ECHKeyManager
+from ..zones.zone import Zone
+
+
+class Severity(enum.Enum):
+    ERROR = "error"  # will break clients (paper: hard failures)
+    WARNING = "warning"  # degraded or risky
+    INFO = "info"
+
+
+@dataclass
+class Finding:
+    code: str
+    severity: Severity
+    owner: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code} {self.owner}: {self.message}"
+
+
+def _https_rrsets(zone: Zone):
+    for rrset in zone.rrsets():
+        if rrset.rdtype == rdtypes.HTTPS:
+            yield rrset
+
+
+def lint_zone(
+    zone: Zone,
+    ech_manager: Optional[ECHKeyManager] = None,
+    current_hour: int = 0,
+) -> List[Finding]:
+    """All §4-style misconfigurations present in *zone*.
+
+    With *ech_manager*, ech params are additionally checked against the
+    currently-accepted key generations (the §4.4.2 staleness hazard).
+    """
+    findings: List[Finding] = []
+    for rrset in _https_rrsets(zone):
+        owner = rrset.name.to_text()
+        a_rrset = zone.get_rrset(rrset.name, rdtypes.A)
+        aaaa_rrset = zone.get_rrset(rrset.name, rdtypes.AAAA)
+        a_addrs = {rd.address for rd in a_rrset} if a_rrset else set()
+        aaaa_addrs = {rd.address for rd in aaaa_rrset} if aaaa_rrset else set()
+
+        priorities = [rd.priority for rd in rrset if isinstance(rd, HTTPSRdata)]
+        if 0 in priorities and len(priorities) > 1:
+            findings.append(Finding(
+                "alias-mixed-with-service", Severity.ERROR, owner,
+                "AliasMode and ServiceMode records coexist at one owner",
+            ))
+
+        for rdata in rrset:
+            if not isinstance(rdata, HTTPSRdata):
+                continue
+            findings.extend(_lint_record(zone, owner, rdata, a_addrs, aaaa_addrs,
+                                         ech_manager, current_hour))
+    return findings
+
+
+def _lint_record(
+    zone: Zone,
+    owner: str,
+    rdata: HTTPSRdata,
+    a_addrs: set,
+    aaaa_addrs: set,
+    ech_manager: Optional[ECHKeyManager],
+    current_hour: int,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    target_text = rdata.target.to_text()
+
+    # -- AliasMode sanity (§4.3.3 / Appendix E.1) -------------------------
+    if rdata.is_alias_mode:
+        if rdata.target == Name.root():
+            findings.append(Finding(
+                "alias-self-target", Severity.ERROR, owner,
+                'AliasMode with TargetName "." does not provide a true alias',
+            ))
+        elif rdata.target.is_subdomain_of(zone.apex) and zone.get_rrset(
+            rdata.target, rdtypes.A
+        ) is None and zone.get_rrset(rdata.target, rdtypes.HTTPS) is None:
+            findings.append(Finding(
+                "alias-dangling-target", Severity.WARNING, owner,
+                f"alias target {target_text} has no A/HTTPS records in this zone",
+            ))
+        return findings
+
+    # -- nonstandard TargetName values ---------------------------------------
+    plain = target_text.replace("\\.", ".").rstrip(".")
+    if plain.replace(".", "").isdigit():
+        findings.append(Finding(
+            "target-is-ip-literal", Severity.ERROR, owner,
+            f"TargetName {target_text!r} is an IP-address literal",
+        ))
+    if plain.startswith("https://"):
+        findings.append(Finding(
+            "target-is-url", Severity.ERROR, owner,
+            f"TargetName {target_text!r} is a URL, not a host name",
+        ))
+
+    params = rdata.params
+    if len(params) == 0:
+        findings.append(Finding(
+            "service-mode-empty", Severity.WARNING, owner,
+            "ServiceMode record carries no SvcParams (provides no information)",
+        ))
+
+    # -- IP-hint consistency (§4.3.5) ---------------------------------------------
+    if params.ipv4hint and a_addrs and set(params.ipv4hint) != a_addrs:
+        findings.append(Finding(
+            "ipv4hint-mismatch", Severity.ERROR, owner,
+            f"ipv4hint {sorted(params.ipv4hint)} != A records {sorted(a_addrs)}"
+            " (clients may connect to a dead address)",
+        ))
+    if params.ipv6hint and aaaa_addrs and set(params.ipv6hint) != aaaa_addrs:
+        findings.append(Finding(
+            "ipv6hint-mismatch", Severity.ERROR, owner,
+            f"ipv6hint differs from AAAA records",
+        ))
+
+    # -- ECH checks (§4.4) ---------------------------------------------------------
+    if params.ech is not None:
+        config_list = try_parse_config_list(params.ech)
+        if config_list is None:
+            findings.append(Finding(
+                "ech-malformed", Severity.ERROR, owner,
+                "ech value does not parse as an ECHConfigList "
+                "(hard failure in Chromium browsers)",
+            ))
+        elif ech_manager is not None:
+            accepted = {
+                keypair.public_key for keypair in ech_manager.active_keypairs(current_hour)
+            }
+            if not any(config.public_key in accepted for config in config_list):
+                findings.append(Finding(
+                    "ech-stale-key", Severity.ERROR, owner,
+                    "published ECH key is no longer accepted by the server "
+                    "(connections depend entirely on the retry mechanism)",
+                ))
+
+    # -- DNSSEC (§4.5) -----------------------------------------------------------------
+    if zone.signed and not zone.get_rrsigs(Name.from_text(owner), rdtypes.HTTPS):
+        findings.append(Finding(
+            "https-unsigned-in-signed-zone", Severity.WARNING, owner,
+            "zone is signed but the HTTPS RRset has no RRSIG",
+        ))
+    return findings

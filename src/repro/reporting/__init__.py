@@ -1,0 +1,5 @@
+"""Rendering helpers for benchmark and experiment output."""
+
+from .tables import render_comparison, render_histogram, render_series, render_table
+
+__all__ = ["render_comparison", "render_histogram", "render_series", "render_table"]

@@ -1,0 +1,134 @@
+"""CSV/JSON export of analysis results for external plotting.
+
+The paper's artifact repository ships its figure data as CSV; this
+module produces equivalent files from a campaign dataset.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def series_to_csv(
+    points: Sequence[Tuple[datetime.date, float]],
+    value_name: str = "value",
+) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["date", value_name])
+    for day, value in points:
+        writer.writerow([day.isoformat(), f"{value:.6f}"])
+    return out.getvalue()
+
+
+def multi_series_to_csv(
+    columns: Dict[str, Sequence[Tuple[datetime.date, float]]],
+) -> str:
+    """Join several (date, value) series on date into one wide CSV."""
+    dates = sorted({day for points in columns.values() for day, _v in points})
+    by_column = {
+        name: {day: value for day, value in points} for name, points in columns.items()
+    }
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["date"] + list(columns))
+    for day in dates:
+        row = [day.isoformat()]
+        for name in columns:
+            value = by_column[name].get(day)
+            row.append("" if value is None else f"{value:.6f}")
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def table_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(list(row))
+    return out.getvalue()
+
+
+def _json_default(value):
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"not JSON-serializable: {type(value)}")
+
+
+def to_json(payload: object, indent: int = 2) -> str:
+    return json.dumps(payload, default=_json_default, indent=indent, sort_keys=True)
+
+
+def export_figure_data(dataset, directory: str) -> List[str]:
+    """Write every figure's underlying series as CSV under *directory*;
+    returns the written paths."""
+    from ..analysis import adoption, dnssec_analysis, ech_analysis, hints
+
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    def write(name: str, content: str) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "w") as handle:
+            handle.write(content)
+        written.append(path)
+
+    dynamic = adoption.dynamic_adoption(dataset)
+    overlapping = adoption.overlapping_adoption(dataset)
+    write(
+        "fig2_adoption.csv",
+        multi_series_to_csv(
+            {
+                "dynamic_apex_pct": dynamic["apex"].points,
+                "dynamic_www_pct": dynamic["www"].points,
+                "overlapping_apex_pct": overlapping["apex"].points,
+                "overlapping_www_pct": overlapping["www"].points,
+            }
+        ),
+    )
+    hint_points = hints.fig11_hint_series(dataset)
+    write(
+        "fig11_hints.csv",
+        multi_series_to_csv(
+            {
+                "ipv4_usage_pct": [(p.date, p.ipv4_usage_pct) for p in hint_points],
+                "ipv6_usage_pct": [(p.date, p.ipv6_usage_pct) for p in hint_points],
+                "ipv4_match_pct": [(p.date, p.ipv4_match_pct) for p in hint_points],
+                "ipv6_match_pct": [(p.date, p.ipv6_match_pct) for p in hint_points],
+            }
+        ),
+    )
+    write("fig13_ech_share.csv", series_to_csv(ech_analysis.fig13_ech_share(dataset), "ech_pct"))
+    signed = dnssec_analysis.fig5_signed_series(dataset)
+    write(
+        "fig5_signed.csv",
+        multi_series_to_csv(
+            {
+                "signed_pct": [(p.date, p.signed_pct) for p in signed],
+                "validated_pct": [(p.date, p.validated_pct) for p in signed],
+            }
+        ),
+    )
+    rotation = ech_analysis.fig4_rotation(dataset)
+    write(
+        "fig4_rotation.json",
+        to_json(
+            {
+                "distinct_configs": rotation.distinct_configs,
+                "public_names": list(rotation.public_names),
+                "sightings_histogram": rotation.sightings_histogram,
+                "overall_mean_hours": rotation.overall_mean_hours,
+            }
+        ),
+    )
+    return written

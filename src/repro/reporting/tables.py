@@ -1,0 +1,84 @@
+"""ASCII table / series rendering for benchmark output.
+
+Every benchmark prints a paper-vs-measured comparison through these
+helpers so EXPERIMENTS.md and the bench logs stay consistent.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+    divider = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [title, divider, line(headers), divider]
+    out.extend(line(row) for row in rows)
+    out.append(divider)
+    if note:
+        out.append(f"  {note}")
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_series(
+    title: str,
+    points: Sequence[Tuple[datetime.date, float]],
+    width: int = 60,
+    unit: str = "%",
+) -> str:
+    """A compact horizontal-bar sparkline of a time series."""
+    if not points:
+        return f"{title}\n  (no data)"
+    values = [v for _d, v in points]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    out = [f"{title}  [min {low:.2f}{unit}, max {high:.2f}{unit}]"]
+    for day, value in points:
+        bar = "#" * max(1, int((value - low) / span * width))
+        out.append(f"  {day}  {value:7.2f}{unit}  {bar}")
+    return "\n".join(out)
+
+
+def render_comparison(
+    title: str,
+    entries: Sequence[Tuple[str, object, object]],
+) -> str:
+    """Rows of (metric, paper value, measured value)."""
+    return render_table(
+        title,
+        ["metric", "paper", "measured"],
+        [(name, paper, measured) for name, paper, measured in entries],
+    )
+
+
+def render_histogram(
+    title: str,
+    buckets: Sequence[Tuple[str, int]],
+    width: int = 50,
+) -> str:
+    if not buckets:
+        return f"{title}\n  (empty)"
+    peak = max(count for _label, count in buckets) or 1
+    out = [title]
+    for label, count in buckets:
+        bar = "#" * max(0, int(count / peak * width))
+        out.append(f"  {label:>12}  {count:6d}  {bar}")
+    return "\n".join(out)

@@ -1,0 +1,31 @@
+"""Resolution substrate: network fabric, authoritative and recursive
+servers, stub resolver, simulated clock."""
+
+from .authoritative import AuthoritativeServer
+from .clock import SimClock
+from .doh import DohClient, DohResponse, DohServer
+from .network import (
+    HostUnreachable,
+    Network,
+    NetworkError,
+    PortClosed,
+)
+from .recursive import RecursiveResolver, ResolutionError
+from .stub import CLOUDFLARE_RESOLVER_IP, GOOGLE_RESOLVER_IP, StubResolver
+
+__all__ = [
+    "AuthoritativeServer",
+    "SimClock",
+    "DohClient",
+    "DohResponse",
+    "DohServer",
+    "HostUnreachable",
+    "Network",
+    "NetworkError",
+    "PortClosed",
+    "RecursiveResolver",
+    "ResolutionError",
+    "CLOUDFLARE_RESOLVER_IP",
+    "GOOGLE_RESOLVER_IP",
+    "StubResolver",
+]

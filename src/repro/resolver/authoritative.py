@@ -1,0 +1,139 @@
+"""Authoritative DNS server.
+
+Serves one or more zones from a :class:`~repro.zones.tree.ZoneTree`:
+answers, referrals, CNAME processing, NXDOMAIN/NODATA, and RRSIG
+inclusion for signed zones.
+
+Two behaviour knobs model real-provider quirks the paper measures:
+
+* ``unsupported_rdtypes`` — some DNS providers return an empty NOERROR
+  for HTTPS queries even when the zone owner configured the record
+  (§4.2.3, mixed-provider intermittency);
+* ``drop_rrsigs`` — providers that serve records but no signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..dnscore import rdtypes
+from ..dnscore.message import Message
+from ..dnscore.names import Name
+from ..dnscore.rrset import RRset
+from ..zones.tree import ZoneTree
+from ..zones.zone import Zone
+
+
+class AuthoritativeServer:
+    """A name server instance at one (or more) IP addresses."""
+
+    def __init__(
+        self,
+        name: str,
+        tree: Optional[ZoneTree] = None,
+        unsupported_rdtypes: Iterable[int] = (),
+        drop_rrsigs: bool = False,
+    ):
+        self.name = name
+        self.tree = tree if tree is not None else ZoneTree()
+        self.unsupported_rdtypes: Set[int] = set(unsupported_rdtypes)
+        self.drop_rrsigs = drop_rrsigs
+        self.query_log: List[tuple] = []
+        self.log_queries = False
+
+    def add_zone(self, zone: Zone) -> None:
+        self.tree.add_zone(zone)
+
+    # -- query handling -----------------------------------------------------
+
+    def handle_query(self, query: Message) -> Message:
+        response = query.make_response()
+        if not query.questions:
+            response.rcode = rdtypes.FORMERR
+            return response
+        question = query.questions[0]
+        if self.log_queries:
+            self.query_log.append((question.name.to_text(), question.rdtype))
+        zone = self.tree.zone_for(question.name)
+        if zone is None:
+            response.rcode = rdtypes.REFUSED
+            return response
+        response.authoritative = True
+
+        # Provider-level lack of support for a record type: empty NOERROR.
+        if question.rdtype in self.unsupported_rdtypes:
+            self._attach_soa(response, zone)
+            return response
+
+        # Delegation below a zone cut → referral.
+        child = zone.is_delegation(question.name)
+        if child is not None and not (
+            question.name == child and question.rdtype == rdtypes.DS
+        ):
+            ns_rrset = zone.get_rrset(child, rdtypes.NS)
+            response.authoritative = False
+            if ns_rrset is not None:
+                response.authority.append(ns_rrset)
+                self._attach_glue(response, zone, ns_rrset)
+            return response
+
+        self._answer_from_zone(
+            response, zone, question.name, question.rdtype, want_dnssec=query.dnssec_ok
+        )
+        return response
+
+    def _answer_from_zone(
+        self, response: Message, zone: Zone, name: Name, rdtype: int, want_dnssec: bool = False
+    ) -> None:
+        # CNAME processing first (RFC 1034 section 4.3.2 step 3a).
+        cname_rrset = zone.get_rrset(name, rdtypes.CNAME)
+        if cname_rrset is not None and rdtype not in (rdtypes.CNAME,):
+            response.answers.append(cname_rrset)
+            if want_dnssec:
+                self._attach_sigs(response, zone, name, rdtypes.CNAME)
+            target = cname_rrset[0].target
+            if target.is_subdomain_of(zone.apex):
+                self._answer_from_zone(response, zone, target, rdtype, want_dnssec)
+            return
+
+        rrset = zone.get_rrset(name, rdtype)
+        if rrset is not None:
+            response.answers.append(rrset)
+            if want_dnssec:
+                self._attach_sigs(response, zone, name, rdtype)
+            return
+
+        if zone.has_name(name):
+            # NODATA: name exists but not this type.
+            self._attach_soa(response, zone)
+        else:
+            response.rcode = rdtypes.NXDOMAIN
+            self._attach_soa(response, zone)
+
+    def _attach_sigs(self, response: Message, zone: Zone, name: Name, rdtype: int) -> None:
+        if self.drop_rrsigs:
+            return
+        rrsigs = zone.get_rrsigs(name, rdtype)
+        if rrsigs:
+            sig_rrset = RRset(name, rdtypes.RRSIG, zone.default_ttl, rrsigs)
+            response.answers.append(sig_rrset)
+
+    def _attach_soa(self, response: Message, zone: Zone) -> None:
+        soa = zone.soa
+        if soa is not None and not any(
+            rr.rdtype == rdtypes.SOA and rr.name == zone.apex for rr in response.authority
+        ):
+            response.authority.append(soa)
+
+    def _attach_glue(self, response: Message, zone: Zone, ns_rrset: RRset) -> None:
+        for ns_rdata in ns_rrset:
+            ns_name = ns_rdata.target
+            if not ns_name.is_subdomain_of(zone.apex):
+                continue
+            for glue_type in (rdtypes.A, rdtypes.AAAA):
+                glue = zone.get_rrset(ns_name, glue_type)
+                if glue is not None:
+                    response.additional.append(glue)
+
+    def __repr__(self) -> str:
+        return f"AuthoritativeServer({self.name}, zones={len(self.tree)})"

@@ -1,0 +1,27 @@
+"""Simulated wall clock shared by resolvers, caches, and signers."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, now: float = 0.0):
+        self._now = float(now)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+
+    def set(self, now: float) -> None:
+        if now < self._now:
+            raise ValueError("time cannot go backwards")
+        self._now = float(now)
+
+    def __repr__(self) -> str:
+        return f"SimClock({self._now})"

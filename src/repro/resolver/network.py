@@ -1,0 +1,97 @@
+"""The simulated network fabric.
+
+Routes DNS queries to authoritative servers by IP and TCP/TLS connections
+to web servers by (IP, port). ``wire_mode`` forces every DNS message
+through the full RFC 1035 wire codec, which is what the fidelity tests
+use; the fast path hands the message object across directly (both paths
+exercise identical server logic).
+
+Reachability is modelled per-IP (and optionally per-port), which the
+connectivity experiment of §4.3.5 uses to create domains whose IP hints
+and A records differ in reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Set, Tuple
+
+from ..dnscore.message import Message
+
+
+class DnsHandler(Protocol):
+    def handle_query(self, query: Message) -> Message: ...
+
+
+class TcpHandler(Protocol):
+    def handle_connection(self, client_hello: object) -> object: ...
+
+
+class NetworkError(Exception):
+    """Transport-level failure (unreachable host, refused port)."""
+
+
+class HostUnreachable(NetworkError):
+    pass
+
+
+class PortClosed(NetworkError):
+    pass
+
+
+class Network:
+    """Registry + router for the simulated Internet."""
+
+    def __init__(self, wire_mode: bool = False):
+        self.wire_mode = wire_mode
+        self._dns_servers: Dict[str, DnsHandler] = {}
+        self._tcp_servers: Dict[Tuple[str, int], TcpHandler] = {}
+        self._unreachable_ips: Set[str] = set()
+        self.dns_query_count = 0
+        self.tcp_connect_count = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register_dns(self, ip: str, server: DnsHandler) -> None:
+        self._dns_servers[ip] = server
+
+    def register_tcp(self, ip: str, port: int, server: TcpHandler) -> None:
+        self._tcp_servers[(ip, port)] = server
+
+    def unregister_tcp(self, ip: str, port: int) -> None:
+        self._tcp_servers.pop((ip, port), None)
+
+    def set_unreachable(self, ip: str, unreachable: bool = True) -> None:
+        if unreachable:
+            self._unreachable_ips.add(ip)
+        else:
+            self._unreachable_ips.discard(ip)
+
+    def is_reachable(self, ip: str) -> bool:
+        return ip not in self._unreachable_ips
+
+    def dns_server_at(self, ip: str) -> Optional[DnsHandler]:
+        return self._dns_servers.get(ip)
+
+    # -- transport ------------------------------------------------------------
+
+    def send_dns_query(self, ip: str, query: Message) -> Message:
+        if ip in self._unreachable_ips:
+            raise HostUnreachable(f"no route to {ip}")
+        server = self._dns_servers.get(ip)
+        if server is None:
+            raise HostUnreachable(f"no DNS server listening at {ip}")
+        self.dns_query_count += 1
+        if self.wire_mode:
+            query = Message.from_wire(query.to_wire())
+            response = server.handle_query(query)
+            return Message.from_wire(response.to_wire())
+        return server.handle_query(query)
+
+    def connect_tcp(self, ip: str, port: int) -> TcpHandler:
+        if ip in self._unreachable_ips:
+            raise HostUnreachable(f"no route to {ip}")
+        server = self._tcp_servers.get((ip, port))
+        if server is None:
+            raise PortClosed(f"connection refused at {ip}:{port}")
+        self.tcp_connect_count += 1
+        return server

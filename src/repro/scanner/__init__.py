@@ -1,0 +1,37 @@
+"""The measurement framework: scan engine, datasets, campaign runner."""
+
+from .campaign import load_or_run_campaign, run_campaign
+from .dataset import DailySnapshot, Dataset, cache_path
+from .incremental import (
+    DatasetMergeError,
+    continuation_window,
+    coverage_gaps,
+    merge_datasets,
+)
+from .engine import ScanEngine, parse_https_rdata
+from .records import (
+    ConnectivityProbe,
+    DomainObservation,
+    EchObservation,
+    HttpsRecordView,
+    NameServerObservation,
+)
+
+__all__ = [
+    "load_or_run_campaign",
+    "run_campaign",
+    "DatasetMergeError",
+    "continuation_window",
+    "coverage_gaps",
+    "merge_datasets",
+    "DailySnapshot",
+    "Dataset",
+    "cache_path",
+    "ScanEngine",
+    "parse_https_rdata",
+    "ConnectivityProbe",
+    "DomainObservation",
+    "EchObservation",
+    "HttpsRecordView",
+    "NameServerObservation",
+]

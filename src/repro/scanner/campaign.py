@@ -1,0 +1,227 @@
+"""Campaign orchestration: run the full study against a world.
+
+Replays the paper's measurement schedule (Table 1) chronologically:
+
+* daily HTTPS/A/AAAA scans over the whole window (sampled every
+  ``day_step`` days to keep runtime bounded — ratios are step-invariant);
+* SOA/NS recorded from 2023-08-16, NS-IP + WHOIS from 2023-10-11;
+* hourly ECH scans during 2023-07-21 – 2023-07-27;
+* connectivity probes from 2024-01-24;
+* the DNSSEC validation snapshot on (the first scan day at or after)
+  2024-01-02.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sys
+from typing import Callable, List, Optional
+
+from ..dnscore import rdtypes
+from ..dnssec.validation import ChainValidator
+from ..simnet import timeline
+from ..simnet.config import SimConfig
+from ..simnet.world import World
+from .dataset import DailySnapshot, Dataset, cache_path
+from .engine import ScanEngine
+
+
+def run_campaign(
+    world: World,
+    day_step: int = 7,
+    start: Optional[datetime.date] = None,
+    end: Optional[datetime.date] = None,
+    ech_sample: int = 200,
+    with_ech_hourly: bool = True,
+    with_dnssec_snapshot: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dataset:
+    """Run the full measurement campaign and return the dataset."""
+    config = world.config
+    engine = ScanEngine(world)
+    dataset = Dataset(config.population, config.seed, day_step)
+    days = set(timeline.study_days(day_step, start, end))
+    range_start = start or timeline.STUDY_START
+    range_end = end or timeline.STUDY_END
+    if with_ech_hourly:
+        # The hourly ECH scan needs every day of its week (§4.4.2).
+        ech_days = timeline.study_days(
+            1,
+            max(range_start, timeline.ECH_HOURLY_SCAN_START),
+            min(range_end, timeline.ECH_HOURLY_SCAN_END),
+        )
+        days.update(ech_days)
+    if with_dnssec_snapshot and range_start <= timeline.DNSSEC_SNAPSHOT <= range_end:
+        days.add(timeline.DNSSEC_SNAPSHOT)
+    dnssec_done = False
+    seen_https: set = set()  # apexes that published HTTPS at least once
+
+    for date in sorted(days):
+        world.set_time(date)
+        snapshot = _scan_one_day(world, engine, date, seen_https)
+        dataset.add_snapshot(snapshot)
+        if progress is not None:
+            progress(
+                f"{date} list={snapshot.list_size} "
+                f"https={snapshot.apex_https_count}/{snapshot.www_https_count}"
+            )
+
+        if (
+            with_ech_hourly
+            and timeline.ECH_HOURLY_SCAN_START <= date <= timeline.ECH_HOURLY_SCAN_END
+        ):
+            _run_ech_hourly(world, engine, dataset, date, ech_sample)
+
+        if (
+            with_dnssec_snapshot
+            and not dnssec_done
+            and date >= timeline.DNSSEC_SNAPSHOT
+        ):
+            _dnssec_snapshot(world, dataset, date)
+            dnssec_done = True
+
+    return dataset
+
+
+def _scan_one_day(
+    world: World, engine: ScanEngine, date: datetime.date, seen_https: Optional[set] = None
+) -> DailySnapshot:
+    if seen_https is None:
+        seen_https = set()
+    config = world.config
+    ranked = tuple(world.tranco_list(date))
+    snapshot = DailySnapshot(date, ranked)
+    in_ns_window = date >= timeline.SOA_NS_SCAN_START
+    in_nsip_window = date >= timeline.NS_IP_WHOIS_SCAN_START
+    in_connectivity_window = date >= timeline.CONNECTIVITY_SCAN_START
+
+    ns_hostnames_seen: set = set()
+    for name_text in ranked:
+        profile = world.profile_by_name(name_text)
+        if profile is None:  # pragma: no cover - registry is complete
+            continue
+        apex_obs = engine.scan_name(profile.apex, "apex")
+        if not in_ns_window:
+            # Table 1: SOA/NS collection starts 2023-08-16.
+            apex_obs.ns_names = ()
+            apex_obs.soa_serial = None
+        if apex_obs.has_https:
+            snapshot.apex_https_count += 1
+            snapshot.apex[apex_obs.name] = apex_obs
+            seen_https.add(apex_obs.name)
+            ns_hostnames_seen.update(apex_obs.ns_names)
+            if in_connectivity_window:
+                probe = engine.probe_connectivity(profile, apex_obs, date)
+                if probe is not None:
+                    snapshot.connectivity.append(probe)
+        elif in_ns_window and apex_obs.name in seen_https:
+            # Deactivation follow-up (§4.2.3): track the NS records of
+            # domains that used to publish HTTPS.
+            from ..dnscore import rdtypes as _rdtypes
+
+            ns_response = world.stub.query(profile.apex, _rdtypes.NS)
+            ns_rrset = ns_response.get_answer(profile.apex, _rdtypes.NS)
+            snapshot.watchlist_ns[apex_obs.name] = (
+                tuple(sorted(rd.target.to_text(omit_final_dot=True) for rd in ns_rrset))
+                if ns_rrset is not None
+                else ()
+            )
+        www_obs = engine.scan_name(profile.www, "www")
+        if not in_ns_window:
+            www_obs.ns_names = ()
+            www_obs.soa_serial = None
+        if www_obs.has_https:
+            snapshot.www_https_count += 1
+            snapshot.www[www_obs.name] = www_obs
+            ns_hostnames_seen.update(www_obs.ns_names)
+
+    if in_nsip_window:
+        for hostname in sorted(ns_hostnames_seen):
+            snapshot.ns_observations[hostname] = engine.scan_nameserver(hostname)
+    return snapshot
+
+
+def _run_ech_hourly(
+    world: World, engine: ScanEngine, dataset: Dataset, date: datetime.date, sample: int
+) -> None:
+    """Hourly rescans of ECH-bearing domains for *date* (§4.4.2).
+
+    Called once per day within the Jul 21–27 window; hours run forward so
+    the world clock stays monotonic with the daily scans around it.
+    """
+    today = dataset.snapshots[date]
+    targets = [name for name, obs in sorted(today.apex.items()) if obs.has_ech][:sample]
+    if not targets:
+        return
+    names = [world.profile_by_name(t).apex for t in targets]
+    for hour in range(24):
+        world.set_time(date, hour)
+        absolute_hour = timeline.day_index(date) * 24 + hour
+        for name in names:
+            observation = engine.scan_ech(name, absolute_hour)
+            if observation is not None:
+                dataset.ech_observations.append(observation)
+    # Park the clock at the end of the day so the next daily scan is forward.
+    world.set_time(date, 23.9)
+
+
+def _dnssec_snapshot(world: World, dataset: Dataset, date: datetime.date) -> None:
+    """Validate the DNSSEC chain of every listed apex (Table 9)."""
+    validator = ChainValidator(world.validator_source)
+    now = timeline.epoch_seconds(date)
+    snapshot = dataset.snapshots[date]
+    https_names = set(snapshot.apex)
+    for name_text in snapshot.ranked_names:
+        profile = world.profile_by_name(name_text)
+        if profile is None:
+            continue
+        zone = world.authoritative_zone_for(profile.apex)
+        signed = bool(zone is not None and zone.signed)
+        state = "unsigned"
+        if signed:
+            has_https = name_text in https_names
+            rdtype = rdtypes.HTTPS if has_https else rdtypes.DNSKEY
+            result = validator.validate(profile.apex, rdtype, now)
+            state = result.state.value
+        ns_names = ()
+        obs = snapshot.apex.get(name_text)
+        if obs is not None:
+            ns_names = obs.ns_names
+        dataset.dnssec_snapshot[name_text] = (
+            name_text in https_names,
+            signed,
+            state,
+            ns_names,
+            profile.registrar,
+            profile.provider_key,
+        )
+    dataset.dnssec_snapshot_date = date
+
+
+def load_or_run_campaign(
+    config: Optional[SimConfig] = None,
+    day_step: int = 7,
+    cache_dir: str = ".cache",
+    verbose: bool = False,
+    **kwargs,
+) -> Dataset:
+    """Return a cached dataset for (config, day_step) or run the campaign."""
+    config = config if config is not None else SimConfig.from_env()
+    # The cache key covers every config field so cohort-parameter changes
+    # invalidate stale datasets.
+    import dataclasses
+
+    tag = str(sorted(kwargs.items())) + repr(dataclasses.astuple(config))
+    path = cache_path(cache_dir, config.population, config.seed, day_step, tag=tag)
+    try:
+        return Dataset.load(path)
+    except (OSError, EOFError, TypeError):
+        pass
+    world = World(config)
+    progress = (lambda msg: print(msg, file=sys.stderr)) if verbose else None
+    dataset = run_campaign(world, day_step=day_step, progress=progress, **kwargs)
+    try:
+        dataset.save(path)
+    except OSError:  # pragma: no cover - cache dir not writable
+        pass
+    return dataset

@@ -1,0 +1,145 @@
+"""The measurement dataset: snapshots collected by a scan campaign.
+
+Mirrors the paper's data layout (Table 1): daily domain scans, the
+SOA/NS window, the NS-IP/WHOIS window, hourly ECH scans, the
+connectivity experiment, and the DNSSEC validation snapshot.
+"""
+
+from __future__ import annotations
+
+import datetime
+import gzip
+import hashlib
+import os
+import pickle
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..simnet import timeline
+from .records import (
+    ConnectivityProbe,
+    DomainObservation,
+    EchObservation,
+    NameServerObservation,
+)
+
+_PICKLE_PROTOCOL = 4
+
+
+class DailySnapshot:
+    """Everything observed on one scan day."""
+
+    __slots__ = (
+        "date",
+        "ranked_names",
+        "apex",
+        "www",
+        "apex_https_count",
+        "www_https_count",
+        "ns_observations",
+        "connectivity",
+        "watchlist_ns",
+    )
+
+    def __init__(self, date: datetime.date, ranked_names: Tuple[str, ...]):
+        self.date = date
+        self.ranked_names = ranked_names
+        # Observations are stored only for names where an HTTPS record was
+        # seen (all analyses of non-adopters are aggregate counts).
+        self.apex: Dict[str, DomainObservation] = {}
+        self.www: Dict[str, DomainObservation] = {}
+        self.apex_https_count = 0
+        self.www_https_count = 0
+        self.ns_observations: Dict[str, NameServerObservation] = {}
+        self.connectivity: List[ConnectivityProbe] = []
+        # NS sets of domains that previously published HTTPS but do not
+        # today (deactivation follow-up; () means no NS records at all).
+        self.watchlist_ns: Dict[str, Tuple[str, ...]] = {}
+
+    @property
+    def list_size(self) -> int:
+        return len(self.ranked_names)
+
+    def rank_of(self, name: str) -> Optional[int]:
+        try:
+            return self.ranked_names.index(name) + 1
+        except ValueError:
+            return None
+
+    def apex_https_rate(self) -> float:
+        return self.apex_https_count / max(1, self.list_size)
+
+    def www_https_rate(self) -> float:
+        return self.www_https_count / max(1, self.list_size)
+
+
+class Dataset:
+    """A full campaign's worth of snapshots."""
+
+    def __init__(self, population: int, seed: str, day_step: int):
+        self.population = population
+        self.seed = seed
+        self.day_step = day_step
+        self.snapshots: Dict[datetime.date, DailySnapshot] = {}
+        self.ech_observations: List[EchObservation] = []
+        # name -> (has_https, signed, validation_state, ns_names, registrar)
+        self.dnssec_snapshot: Dict[str, tuple] = {}
+        self.dnssec_snapshot_date: Optional[datetime.date] = None
+
+    # -- access ------------------------------------------------------------
+
+    def days(self) -> List[datetime.date]:
+        return sorted(self.snapshots)
+
+    def days_between(
+        self, start: Optional[datetime.date] = None, end: Optional[datetime.date] = None
+    ) -> List[datetime.date]:
+        return [
+            d for d in self.days()
+            if (start is None or d >= start) and (end is None or d <= end)
+        ]
+
+    def snapshot(self, date: datetime.date) -> DailySnapshot:
+        return self.snapshots[date]
+
+    def add_snapshot(self, snapshot: DailySnapshot) -> None:
+        self.snapshots[snapshot.date] = snapshot
+
+    # -- overlapping-domain machinery (§4.1) ---------------------------------
+
+    def overlapping_domains(self, phase: int) -> FrozenSet[str]:
+        """Domains present in the list on *every* scan day of the phase."""
+        days = [d for d in self.days() if timeline.phase_of(d) == phase]
+        if not days:
+            return frozenset()
+        result: Optional[set] = None
+        for day in days:
+            names = set(self.snapshots[day].ranked_names)
+            result = names if result is None else (result & names)
+        return frozenset(result or ())
+
+    def union_domains(self, phase: Optional[int] = None) -> FrozenSet[str]:
+        result: set = set()
+        for day in self.days():
+            if phase is None or timeline.phase_of(day) == phase:
+                result.update(self.snapshots[day].ranked_names)
+        return frozenset(result)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with gzip.open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=_PICKLE_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str) -> "Dataset":
+        with gzip.open(path, "rb") as handle:
+            dataset = pickle.load(handle)
+        if not isinstance(dataset, cls):
+            raise TypeError(f"{path} does not contain a Dataset")
+        return dataset
+
+
+def cache_path(cache_dir: str, population: int, seed: str, day_step: int, tag: str = "") -> str:
+    key = hashlib.sha256(f"{population}|{seed}|{day_step}|{tag}".encode()).hexdigest()[:16]
+    return os.path.join(cache_dir, f"dataset_{population}_{day_step}_{key}.pkl.gz")

@@ -1,0 +1,89 @@
+"""Incremental / longitudinal dataset maintenance.
+
+The paper's artifact plan is "a longstanding framework that continuously
+collects and releases HTTPS data periodically". This module supports
+that mode of operation: campaigns run in slices (e.g. one per week),
+each producing a Dataset, which are then merged into one longitudinal
+dataset for analysis — with consistency checks so slices from different
+worlds cannot be silently mixed.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, List, Optional, Sequence
+
+from .dataset import Dataset
+
+
+class DatasetMergeError(ValueError):
+    """Incompatible or overlapping dataset slices."""
+
+
+def merge_datasets(slices: Sequence[Dataset], allow_overlap: bool = False) -> Dataset:
+    """Merge campaign *slices* into one longitudinal dataset.
+
+    Slices must come from the same simulated world (population + seed).
+    Overlapping scan days are rejected unless *allow_overlap* — in which
+    case later slices win (re-scans supersede).
+    """
+    if not slices:
+        raise DatasetMergeError("nothing to merge")
+    first = slices[0]
+    merged = Dataset(first.population, first.seed, first.day_step)
+    for dataset in slices:
+        if (dataset.population, dataset.seed) != (first.population, first.seed):
+            raise DatasetMergeError(
+                "cannot merge datasets from different worlds: "
+                f"{(dataset.population, dataset.seed)} vs {(first.population, first.seed)}"
+            )
+        for day, snapshot in dataset.snapshots.items():
+            if day in merged.snapshots and not allow_overlap:
+                raise DatasetMergeError(f"scan day {day} present in more than one slice")
+            merged.snapshots[day] = snapshot
+        merged.ech_observations.extend(dataset.ech_observations)
+        if dataset.dnssec_snapshot:
+            if (
+                merged.dnssec_snapshot_date is None
+                or dataset.dnssec_snapshot_date > merged.dnssec_snapshot_date
+            ):
+                merged.dnssec_snapshot = dataset.dnssec_snapshot
+                merged.dnssec_snapshot_date = dataset.dnssec_snapshot_date
+    merged.day_step = _effective_step(merged)
+    return merged
+
+
+def _effective_step(dataset: Dataset) -> int:
+    days = dataset.days()
+    if len(days) < 2:
+        return dataset.day_step or 1
+    gaps = [(b - a).days for a, b in zip(days, days[1:])]
+    return max(1, min(gaps))
+
+
+def continuation_window(
+    dataset: Dataset, day_step: Optional[int] = None
+) -> Optional[datetime.date]:
+    """The first scan day a continuation campaign should cover, or None
+    when the dataset is empty (start from the study beginning)."""
+    days = dataset.days()
+    if not days:
+        return None
+    step = day_step or dataset.day_step or 1
+    return days[-1] + datetime.timedelta(days=step)
+
+
+def coverage_gaps(dataset: Dataset, expected_step: Optional[int] = None) -> List[datetime.date]:
+    """Scan days missing from an expected regular cadence (release QA)."""
+    days = dataset.days()
+    if len(days) < 2:
+        return []
+    step = expected_step or _effective_step(dataset)
+    missing: List[datetime.date] = []
+    current = days[0]
+    have = set(days)
+    while current <= days[-1]:
+        if current not in have:
+            missing.append(current)
+        current += datetime.timedelta(days=step)
+    return missing

@@ -1,0 +1,20 @@
+"""The simulated Internet: population, providers, timeline, world."""
+
+from . import timeline
+from .cohorts import DomainProfile, ECH_TEST_DOMAINS, SPECIAL_DOMAINS, make_profile
+from .config import SimConfig
+from .providers import PROVIDERS, ProviderSpec
+from .world import ECH_PUBLIC_NAME, World
+
+__all__ = [
+    "timeline",
+    "DomainProfile",
+    "ECH_TEST_DOMAINS",
+    "SPECIAL_DOMAINS",
+    "make_profile",
+    "SimConfig",
+    "PROVIDERS",
+    "ProviderSpec",
+    "ECH_PUBLIC_NAME",
+    "World",
+]

@@ -1,0 +1,407 @@
+"""Domain profiles: the deterministic 'genome' of every simulated domain.
+
+A profile fixes which behavioural cohorts a domain belongs to — HTTPS
+adoption and timing, provider assignment, Cloudflare plan/proxy state,
+intermittency mechanism, hint-mismatch behaviour, DNSSEC posture — all
+derived as pure functions of (seed, domain index) so any module can
+recompute them without shared state.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..dnscore.names import Name
+from . import timeline
+from .config import SimConfig
+from .determinism import choice, integer, unit_float, weighted_choice
+from .providers import (
+    NON_HTTPS_PROVIDER_KEYS,
+    NONCF_HTTPS_WEIGHTS,
+    PROVIDERS,
+    REGISTRARS,
+)
+
+_TLDS = (
+    ("com", 0.52), ("net", 0.10), ("org", 0.09), ("io", 0.05), ("co", 0.04),
+    ("de", 0.04), ("cn", 0.03), ("ru", 0.03), ("uk", 0.02), ("fr", 0.02),
+    ("jp", 0.02), ("br", 0.02), ("ee", 0.01), ("pk", 0.005), ("other", 0.005),
+)
+
+_WORDS = (
+    "alpha", "breeze", "cedar", "delta", "ember", "flux", "grove", "harbor",
+    "iris", "juniper", "krill", "lumen", "maple", "nimbus", "opal", "pine",
+    "quartz", "raven", "sage", "tidal", "umbra", "vertex", "willow", "xenon",
+    "yarrow", "zephyr", "atlas", "basil", "comet", "dune",
+)
+
+# Intermittency mechanisms (§4.2.3).
+INTERMIT_NONE = "none"
+INTERMIT_PROXY_TOGGLE = "proxy-toggle"  # Cloudflare proxied option on/off
+INTERMIT_MIXED_PROVIDERS = "mixed-providers"  # not all providers serve HTTPS
+INTERMIT_NS_CHANGE = "ns-change"  # moved off Cloudflare mid-study
+INTERMIT_NO_NS = "no-ns"  # NS records vanish on deactivation
+
+# Hint-mismatch behaviours (§4.3.5 / Appendix E.3).
+HINTS_CLEAN = "clean"
+HINTS_PRE_FIX = "pre-fix"  # mismatch episodes only before Jun 19
+HINTS_EPISODIC = "episodic"  # occasional short mismatches all period
+HINTS_PERSISTENT = "persistent"  # cf-ns domains, whole period
+
+# Non-Cloudflare record shapes (Table 5 / Appendix E.1).
+SHAPE_SERVICE_SELF = "service-self"  # "1 ." (maybe empty SvcParams)
+SHAPE_SERVICE_ALPN = "service-alpn"  # "1 . alpn=..."
+SHAPE_ALIAS_ENDPOINT = "alias-endpoint"  # "0 cdn.example."
+SHAPE_ALIAS_SELF = "alias-self"  # "0 ." (broken alias, 19-22 domains)
+SHAPE_ALIAS_WWW = "alias-www"  # err.ee style
+SHAPE_MULTI_PRIORITY = "multi-priority"  # nexuspipe geo-routing
+SHAPE_HTTP11 = "http11-only"  # jpberlin etc.
+SHAPE_DRAFT_H3 = "draft-h3"  # gentoo.org: h3-27 + h3-29
+SHAPE_IP_TARGET = "ip-target"  # TargetName is an IP address literal
+SHAPE_URL_TARGET = "url-target"  # TargetName is an https:// URL
+SHAPE_EMPTY_SERVICE = "service-empty"  # ServiceMode, no SvcParams
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """Everything fixed about one simulated domain."""
+
+    index: int
+    name: str  # presentation apex name without trailing dot
+    tld: str
+    base_rank: float  # 0 = most popular
+    is_stable: bool  # always in the daily Tranco list (modulo source change)
+    exits_at_source_change: bool
+    enters_at_source_change: bool
+    churn_presence: float  # daily presence probability for tail domains
+
+    adopter: bool
+    adoption_start_day: int  # day index; may be negative (adopted pre-study)
+    deactivation_day: Optional[int]
+    www_has_record: bool
+    www_only: bool
+
+    provider_key: str
+    secondary_provider_key: Optional[str]  # mixed-provider cohort
+    intermittency: str
+    ns_change_day: Optional[int]
+    is_cloudflare: bool
+    custom_config: bool  # Cloudflare: customized vs default record
+    free_plan: bool  # Cloudflare: auto-ECH cohort
+    noncf_shape: str  # record shape for non-CF adopters
+    noncf_has_ech: bool
+    google_owned: bool
+
+    hint_behaviour: str
+    ipv6_hints: bool
+
+    dnssec_signed: bool
+    ds_uploaded: bool
+    dnssec_sign_day: int  # when the zone became signed (Fig 5b growth)
+    registrar: str
+
+    @property
+    def apex(self) -> Name:
+        # Name.from_text memoizes, so this stays cheap in hot loops.
+        return Name.from_text(self.name + ".")
+
+    @property
+    def www(self) -> Name:
+        return Name.from_text("www." + self.name + ".")
+
+
+# Domains the paper names; planted at fixed indices for tests/examples.
+SPECIAL_DOMAINS: Tuple[Tuple[str, str], ...] = (
+    # (name, special behaviour key)
+    ("cf-ns.com", "persistent-mismatch"),
+    ("cf-ns.net", "persistent-mismatch"),
+    ("canva-apps.cn", "persistent-mismatch"),
+    ("cloudflare-cn.com", "persistent-mismatch"),
+    ("polestar.cn", "persistent-mismatch"),
+    ("err.ee", "google-alias-www"),
+    ("gentoo.org", "selfhosted-draft-h3"),
+    ("newlinesmag.com", "cf-alias-self"),
+    ("unze.com.pk", "cf-ip-target"),
+    ("idaillinois.org", "cf-ip-target"),
+    ("pokemon-arena.net", "cf-ip-target"),
+    ("gachoiphungluan.com", "cf-url-target"),
+    ("host-ir.com", "weird-priority-443"),
+    ("pionerfm.ru", "weird-priority-1800"),
+    ("cloudflare-ech.com", "cf-ech-test"),
+    ("cloudflareresearch.com", "cf-ech-test"),
+    # Appendix E.1: the geo-routing.nexuspipe.com multi-priority scheme
+    # (14 domains at full scale) and the HTTP/1.1-only jpberlin cohort.
+    ("nexclient-shop.com", "nexuspipe-geo"),
+    ("nexclient-media.net", "nexuspipe-geo"),
+    ("mailhost-berlin.de", "http11-only"),
+)
+
+# Domains Cloudflare kept ECH-enabled after the Oct 5 global disable; the
+# paper excludes them from daily ECH counts (§4.4.1 footnote 10).
+ECH_TEST_DOMAINS = ("cloudflare-ech.com", "cloudflareresearch.com")
+
+
+def special_behaviour_of(index: int) -> Optional[Tuple[str, str]]:
+    if index < len(SPECIAL_DOMAINS):
+        return SPECIAL_DOMAINS[index]
+    return None
+
+
+def _domain_name(seed: str, index: int) -> Tuple[str, str]:
+    special = special_behaviour_of(index)
+    if special is not None:
+        name = special[0]
+        return name, name.rsplit(".", 1)[1]
+    tld = weighted_choice(seed, "tld", index, options=_TLDS)
+    if tld == "other":
+        tld = choice(seed, "tld-other", index, options=("se", "nl", "it", "es", "pl"))
+    word_a = choice(seed, "word-a", index, options=_WORDS)
+    word_b = choice(seed, "word-b", index, options=_WORDS)
+    return f"{word_a}-{word_b}-{index:05d}.{tld}", tld
+
+
+def _pick_noncf_provider(seed: str, index: int) -> str:
+    return weighted_choice(seed, "noncf-provider", index, options=NONCF_HTTPS_WEIGHTS)
+
+
+def make_profile(config: SimConfig, index: int) -> DomainProfile:
+    """Derive the full profile of domain *index* under *config*."""
+    seed = config.seed
+    name, tld = _domain_name(seed, index)
+    special = special_behaviour_of(index)
+    special_kind = special[1] if special else None
+
+    # -- popularity & presence ------------------------------------------------
+    # Interleave stability with rank: stable domains cluster at high ranks
+    # (Fig 8) but with overlap.
+    stable_roll = unit_float(seed, "stable", index)
+    rank_noise = unit_float(seed, "rank-noise", index)
+    is_stable = stable_roll < config.stable_fraction or special_kind is not None
+    if is_stable:
+        base_rank = 0.65 * unit_float(seed, "rank", index) + 0.15 * rank_noise
+    else:
+        base_rank = 0.35 + 0.65 * unit_float(seed, "rank", index)
+    exits = (
+        is_stable
+        and special_kind is None
+        and unit_float(seed, "exit", index) < config.source_change_exit_fraction
+    )
+    enters = (
+        not is_stable
+        and unit_float(seed, "enter", index) < 0.12
+    )
+    churn_presence = config.churn_presence_min + (
+        config.churn_presence_max - config.churn_presence_min
+    ) * (1.0 - base_rank)
+
+    # -- adoption ----------------------------------------------------------------
+    if special_kind is not None:
+        adopter = True
+    elif is_stable:
+        adopter = unit_float(seed, "adopt", index) < config.stable_adoption
+    else:
+        adopter = unit_float(seed, "adopt", index) < config.churn_adoption
+    if is_stable:
+        # Mostly adopted before the study; a thin tail adopts during it.
+        if unit_float(seed, "adopt-when", index) < 0.88:
+            adoption_start_day = -integer(seed, "adopt-day", index, bound=400) - 1
+        else:
+            adoption_start_day = integer(seed, "adopt-day", index, bound=timeline.total_days())
+    else:
+        adoption_start_day = (
+            integer(seed, "adopt-day", index, bound=config.churn_adoption_spread_days)
+            - config.churn_adoption_spread_days // 3
+        )
+    deactivation_day: Optional[int] = None
+    if adopter and is_stable and special_kind is None:
+        hazard_window = timeline.total_days() - timeline.day_index(timeline.TRANCO_SOURCE_CHANGE)
+        if unit_float(seed, "deact", index) < config.stable_deactivation_hazard * hazard_window:
+            deactivation_day = timeline.day_index(timeline.TRANCO_SOURCE_CHANGE) + integer(
+                seed, "deact-day", index, bound=hazard_window
+            )
+
+    www_only = adopter and unit_float(seed, "www-only", index) < config.www_only_fraction
+    www_has_record = adopter and (
+        www_only or unit_float(seed, "www", index) < config.www_coverage
+    )
+
+    # -- provider & cohorts ----------------------------------------------------------
+    noncf_share = config.noncf_adopter_fraction * config.noncf_boost
+    provider_key = "cloudflare"
+    secondary: Optional[str] = None
+    intermittency = INTERMIT_NONE
+    ns_change_day: Optional[int] = None
+    custom_config = False
+    free_plan = False
+    noncf_shape = SHAPE_SERVICE_SELF
+    noncf_has_ech = False
+    google_owned = False
+
+    if special_kind == "cf-ech-test":
+        provider_key = "cloudflare"
+        free_plan = True
+    elif special_kind == "nexuspipe-geo":
+        provider_key = "nexuspipe"
+        noncf_shape = SHAPE_MULTI_PRIORITY
+    elif special_kind == "http11-only":
+        provider_key = "jpberlin"
+        noncf_shape = SHAPE_HTTP11
+    elif special_kind in ("persistent-mismatch",):
+        provider_key = "cfns"
+    elif special_kind == "google-alias-www":
+        provider_key = "google"
+        noncf_shape = SHAPE_ALIAS_WWW
+    elif special_kind == "selfhosted-draft-h3":
+        provider_key = "selfhosted"
+        noncf_shape = SHAPE_DRAFT_H3
+    elif special_kind in ("cf-alias-self", "cf-ip-target", "cf-url-target",
+                          "weird-priority-443", "weird-priority-1800"):
+        provider_key = "cloudflare"
+        custom_config = True
+        noncf_shape = {
+            "cf-alias-self": SHAPE_ALIAS_SELF,
+            "cf-ip-target": SHAPE_IP_TARGET,
+            "cf-url-target": SHAPE_URL_TARGET,
+            "weird-priority-443": SHAPE_MULTI_PRIORITY,
+            "weird-priority-1800": SHAPE_MULTI_PRIORITY,
+        }[special_kind]
+    elif adopter:
+        roll = unit_float(seed, "provider", index)
+        if roll < noncf_share:
+            provider_key = _pick_noncf_provider(seed, index)
+            shape_roll = unit_float(seed, "shape", index)
+            if provider_key == "google":
+                google_owned = unit_float(seed, "google-owned", index) < 0.94
+                if shape_roll < 0.95:
+                    noncf_shape = SHAPE_EMPTY_SERVICE
+                else:
+                    noncf_shape = SHAPE_SERVICE_ALPN
+            elif provider_key == "godaddy":
+                noncf_shape = SHAPE_ALIAS_ENDPOINT if shape_roll < 0.992 else SHAPE_SERVICE_ALPN
+            elif provider_key == "nexuspipe":
+                noncf_shape = SHAPE_MULTI_PRIORITY
+            elif provider_key == "jpberlin":
+                noncf_shape = SHAPE_HTTP11
+            else:
+                # The long tail mostly publishes "1 ." with an alpn
+                # (§4.3.4: only 8.44% of non-CF domains omit alpn — the
+                # omitters are dominated by Google/GoDaddy shapes).
+                if shape_roll < 0.94:
+                    noncf_shape = SHAPE_SERVICE_SELF if shape_roll < 0.84 else SHAPE_SERVICE_ALPN
+                elif shape_roll < 0.97:
+                    noncf_shape = SHAPE_EMPTY_SERVICE
+                elif shape_roll < 0.993:
+                    noncf_shape = SHAPE_ALIAS_ENDPOINT
+                else:
+                    noncf_shape = SHAPE_ALIAS_SELF
+            noncf_has_ech = (
+                provider_key in ("ubmdns", "domainactive", "informadns")
+                or unit_float(seed, "noncf-ech", index) < config.noncf_ech_fraction * 0.3
+            )
+        else:
+            if unit_float(seed, "cfns", index) < config.cfns_fraction:
+                provider_key = "cfns"
+            custom_limit = (
+                config.custom_config_stable if is_stable else config.custom_config_churn
+            )
+            custom_config = unit_float(seed, "custom", index) < custom_limit
+            free_plan = unit_float(seed, "plan", index) < config.free_plan_fraction
+            # Intermittency cohorts.
+            iroll = unit_float(seed, "intermit", index)
+            if iroll < config.proxied_toggle_fraction:
+                intermittency = INTERMIT_PROXY_TOGGLE
+            elif iroll < config.proxied_toggle_fraction + config.mixed_provider_fraction:
+                intermittency = INTERMIT_MIXED_PROVIDERS
+                secondary = choice(
+                    seed, "secondary", index, options=tuple(NON_HTTPS_PROVIDER_KEYS)
+                )
+            elif iroll < (
+                config.proxied_toggle_fraction
+                + config.mixed_provider_fraction
+                + config.ns_change_fraction
+            ):
+                intermittency = INTERMIT_NS_CHANGE
+                window = timeline.total_days()
+                ns_change_day = integer(seed, "ns-change-day", index, bound=window - 40) + 20
+            elif iroll < (
+                config.proxied_toggle_fraction
+                + config.mixed_provider_fraction
+                + config.ns_change_fraction
+                + config.no_ns_fraction
+            ):
+                intermittency = INTERMIT_NO_NS
+    else:
+        provider_key = choice(seed, "plain-provider", index, options=tuple(NON_HTTPS_PROVIDER_KEYS))
+
+    # -- hints -------------------------------------------------------------------------
+    hint_behaviour = HINTS_CLEAN
+    ipv6_hints = unit_float(seed, "v6hint", index) < config.ipv6hint_fraction
+    if special_kind == "persistent-mismatch":
+        hint_behaviour = HINTS_PERSISTENT
+    elif adopter and provider_key in ("cloudflare", "cfns") and not custom_config:
+        hroll = unit_float(seed, "hints", index)
+        if hroll < config.hint_mismatch_prefix_fraction:
+            hint_behaviour = HINTS_PRE_FIX
+        elif hroll < config.hint_mismatch_prefix_fraction + config.hint_mismatch_post_fraction:
+            hint_behaviour = HINTS_EPISODIC
+
+    # -- DNSSEC --------------------------------------------------------------------------
+    if adopter:
+        # Newly-listed (churny) adopters sign far less — this is what drives
+        # the decreasing dynamic-list trend of Fig 5a while Fig 5b grows.
+        signed_fraction = config.signed_fraction_adopters * (1.0 if is_stable else 0.20)
+        dnssec_signed = unit_float(seed, "signed", index) < signed_fraction
+        ds_prob = (
+            config.ds_upload_given_cf
+            if provider_key in ("cloudflare", "cfns")
+            else config.ds_upload_given_noncf
+        )
+    else:
+        dnssec_signed = unit_float(seed, "signed", index) < config.signed_fraction_others
+        ds_prob = config.ds_upload_given_no_https
+    ds_uploaded = dnssec_signed and unit_float(seed, "ds", index) < ds_prob
+    # Overlapping domains' signed share grows through the study (Fig 5b):
+    # a slice of signed stable adopters sign mid-study.
+    if dnssec_signed and is_stable and unit_float(seed, "sign-when", index) < 0.22:
+        dnssec_sign_day = integer(seed, "sign-day", index, bound=config.signed_growth_days)
+    else:
+        dnssec_sign_day = -1
+    provider = PROVIDERS[provider_key]
+    if provider.registrar_names and unit_float(seed, "registrar", index) < 0.26:
+        registrar = provider.registrar_names[0]
+    else:
+        registrar = choice(seed, "registrar-pick", index, options=REGISTRARS)
+
+    return DomainProfile(
+        index=index,
+        name=name,
+        tld=tld,
+        base_rank=base_rank,
+        is_stable=is_stable,
+        exits_at_source_change=exits,
+        enters_at_source_change=enters,
+        churn_presence=churn_presence,
+        adopter=adopter,
+        adoption_start_day=adoption_start_day,
+        deactivation_day=deactivation_day,
+        www_has_record=www_has_record,
+        www_only=www_only,
+        provider_key=provider_key,
+        secondary_provider_key=secondary,
+        intermittency=intermittency,
+        ns_change_day=ns_change_day,
+        is_cloudflare=provider_key in ("cloudflare", "cfns"),
+        custom_config=custom_config,
+        free_plan=free_plan,
+        noncf_shape=noncf_shape,
+        noncf_has_ech=noncf_has_ech,
+        google_owned=google_owned,
+        hint_behaviour=hint_behaviour,
+        ipv6_hints=ipv6_hints,
+        dnssec_signed=dnssec_signed,
+        ds_uploaded=ds_uploaded,
+        dnssec_sign_day=dnssec_sign_day,
+        registrar=registrar,
+    )

@@ -1,0 +1,62 @@
+"""Deterministic pseudo-randomness for the simulated Internet.
+
+Every stochastic property of the world (cohort membership, churn, toggle
+days, IP allocation) is a pure function of (global seed, entity name,
+salt) so that any two runs — and any two modules looking at the same
+domain — agree without shared mutable state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def digest(seed: str, *parts: object) -> bytes:
+    material = "|".join([seed] + [str(part) for part in parts])
+    return hashlib.sha256(material.encode()).digest()
+
+
+def unit_float(seed: str, *parts: object) -> float:
+    """Uniform float in [0, 1)."""
+    value = struct.unpack("!Q", digest(seed, *parts)[:8])[0]
+    return value / 2**64
+
+
+def integer(seed: str, *parts: object, bound: int) -> int:
+    """Uniform integer in [0, bound)."""
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    return struct.unpack("!Q", digest(seed, *parts)[:8])[0] % bound
+
+
+def choice(seed: str, *parts: object, options: Sequence[T]) -> T:
+    return options[integer(seed, *parts, bound=len(options))]
+
+
+def weighted_choice(seed: str, *parts: object, options: Sequence[Tuple[T, float]]) -> T:
+    """Pick from (value, weight) pairs."""
+    total = sum(weight for _, weight in options)
+    roll = unit_float(seed, *parts) * total
+    accumulated = 0.0
+    for value, weight in options:
+        accumulated += weight
+        if roll < accumulated:
+            return value
+    return options[-1][0]
+
+
+def sample_indices(seed: str, salt: str, population: int, count: int) -> List[int]:
+    """*count* distinct indices from range(population), deterministic."""
+    if count >= population:
+        return list(range(population))
+    picked = set()
+    counter = 0
+    while len(picked) < count:
+        idx = integer(seed, salt, counter, bound=population)
+        picked.add(idx)
+        counter += 1
+    return sorted(picked)

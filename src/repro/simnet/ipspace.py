@@ -1,0 +1,60 @@
+"""Deterministic IP address allocation for the simulated Internet.
+
+Each provider owns recognizable address blocks (used by the WHOIS
+registry for attribution, §4.2.2) and Cloudflare-proxied zones resolve to
+anycast addresses, mirroring the real deployment the paper measures.
+"""
+
+from __future__ import annotations
+
+from .determinism import integer
+
+# Anycast blocks for proxied zones.
+CLOUDFLARE_V4_PREFIXES = ("104.16", "104.17", "104.18")
+CLOUDFLARE_V6_PREFIX = "2606:4700"
+CFNS_V4_PREFIX = "162.159"  # Cloudflare China network (cf-ns.*)
+
+# Root / TLD infrastructure.
+ROOT_SERVER_IP = "198.41.0.4"
+TLD_SERVER_IP = "192.5.6.30"
+GOOGLE_RESOLVER_IP = "8.8.8.8"
+CLOUDFLARE_RESOLVER_IP = "1.1.1.1"
+
+
+def _octets(seed: str, *parts: object) -> tuple:
+    a = integer(seed, "octet-a", *parts, bound=254) + 1
+    b = integer(seed, "octet-b", *parts, bound=254) + 1
+    return a, b
+
+
+def cloudflare_anycast_v4(seed: str, domain: str, index: int = 0) -> str:
+    prefix = CLOUDFLARE_V4_PREFIXES[index % len(CLOUDFLARE_V4_PREFIXES)]
+    a, b = _octets(seed, "cf-anycast", domain, index)
+    return f"{prefix}.{a}.{b}"
+
+
+def cloudflare_anycast_v6(seed: str, domain: str, index: int = 0) -> str:
+    a, b = _octets(seed, "cf-anycast6", domain, index)
+    return f"{CLOUDFLARE_V6_PREFIX}:3{index:03x}::{a:x}{b:02x}"
+
+
+def cfns_anycast_v4(seed: str, domain: str, index: int = 0) -> str:
+    a, b = _octets(seed, "cfns-anycast", domain, index)
+    return f"{CFNS_V4_PREFIX}.{a}.{b}"
+
+
+def origin_v4(seed: str, domain: str, generation: int = 0) -> str:
+    """The 'real' origin server address of a domain (non-proxied)."""
+    a, b = _octets(seed, "origin", domain, generation)
+    c = integer(seed, "origin-c", domain, generation, bound=254) + 1
+    return f"203.{a % 254 + 1}.{b}.{c}"
+
+
+def origin_v6(seed: str, domain: str, generation: int = 0) -> str:
+    a, b = _octets(seed, "origin6", domain, generation)
+    return f"2001:db8:{a:x}::{b:x}"
+
+
+def provider_ns_ip(seed: str, provider_key: str, prefix: str, host_index: int) -> str:
+    a = integer(seed, "ns-ip", provider_key, host_index, bound=200) + 10
+    return f"{prefix}.{a}"

@@ -1,0 +1,249 @@
+"""DNS provider catalogue.
+
+Each provider spec captures what the paper's attribution pipeline
+recovers: nameserver hostnames, the address block WHOIS maps to the
+operator org, and whether the provider serves HTTPS RRs at all
+(§4.2.2-4.2.3, Tables 2-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..dnscore.names import Name
+from .determinism import integer
+
+_NS_HOSTNAME_CACHE: Dict[tuple, tuple] = {}
+
+# Cloudflare assigns each zone a pair of themed nameserver hostnames.
+_CLOUDFLARE_NS_WORDS = (
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "henry",
+    "irena", "jim", "kate", "leo", "mona", "ned", "olga", "pete",
+)
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """A DNS hosting provider."""
+
+    key: str
+    org: str  # WHOIS organisation string for its NS address block
+    ns_domain: str  # suffix of its nameserver hostnames
+    ip_prefix: str  # /16-ish prefix of its NS address block ("a.b.c")
+    server_ip: str  # where its authoritative server listens
+    supports_https: bool = False
+    ns_host_count: int = 4
+    is_cloudflare: bool = False
+    registrar_names: Tuple[str, ...] = ()
+
+    def ns_hostnames(self, seed: str, domain: str) -> List[Name]:
+        """The two NS hostnames this provider assigns to *domain*
+        (memoized; called in the per-day zone-build hot path)."""
+        cache_key = (self.key, seed, domain)
+        cached = _NS_HOSTNAME_CACHE.get(cache_key)
+        if cached is not None:
+            return list(cached)
+        result = self._ns_hostnames_uncached(seed, domain)
+        if len(_NS_HOSTNAME_CACHE) > 200_000:
+            _NS_HOSTNAME_CACHE.clear()
+        _NS_HOSTNAME_CACHE[cache_key] = tuple(result)
+        return result
+
+    def _ns_hostnames_uncached(self, seed: str, domain: str) -> List[Name]:
+        if self.is_cloudflare and self.key == "cloudflare":
+            first = integer(seed, "cf-ns1", domain, bound=len(_CLOUDFLARE_NS_WORDS))
+            second = (first + 1 + integer(seed, "cf-ns2", domain, bound=len(_CLOUDFLARE_NS_WORDS) - 1)) % len(
+                _CLOUDFLARE_NS_WORDS
+            )
+            return [
+                Name.from_text(f"{_CLOUDFLARE_NS_WORDS[first]}.{self.ns_domain}."),
+                Name.from_text(f"{_CLOUDFLARE_NS_WORDS[second]}.{self.ns_domain}."),
+            ]
+        first = integer(seed, "ns-a", self.key, domain, bound=self.ns_host_count) + 1
+        second = first % self.ns_host_count + 1
+        return [
+            Name.from_text(f"ns{first}.{self.ns_domain}."),
+            Name.from_text(f"ns{second}.{self.ns_domain}."),
+        ]
+
+    def all_ns_hostnames(self) -> List[Name]:
+        if self.is_cloudflare and self.key == "cloudflare":
+            return [Name.from_text(f"{word}.{self.ns_domain}.") for word in _CLOUDFLARE_NS_WORDS]
+        return [Name.from_text(f"ns{i}.{self.ns_domain}.") for i in range(1, self.ns_host_count + 1)]
+
+
+# The catalogue. Address prefixes are synthetic but provider-distinct so
+# WHOIS attribution works exactly like the paper's ipwhois pipeline.
+PROVIDERS: Dict[str, ProviderSpec] = {
+    spec.key: spec
+    for spec in [
+        ProviderSpec(
+            "cloudflare", "Cloudflare, Inc.", "ns.cloudflare.com", "173.245.58",
+            server_ip="173.245.58.1", supports_https=True, is_cloudflare=True,
+            registrar_names=("Cloudflare, Inc.",),
+        ),
+        ProviderSpec(
+            "cfns", "Cloudflare China Network (CAPG)", "cf-ns.com", "162.159.1",
+            server_ip="162.159.1.1", supports_https=True, is_cloudflare=True,
+            registrar_names=("Beijing Capital Online",),
+        ),
+        ProviderSpec(
+            "google", "Google LLC", "googledomains.com", "216.239.32",
+            server_ip="216.239.32.10", supports_https=True,
+            registrar_names=("Google LLC", "Squarespace Domains"),
+        ),
+        ProviderSpec(
+            "godaddy", "GoDaddy.com, LLC", "domaincontrol.com", "97.74.100",
+            server_ip="97.74.100.10", supports_https=True,
+            registrar_names=("GoDaddy.com, LLC",),
+        ),
+        ProviderSpec(
+            "ename", "eName Technology Co., Ltd.", "ename.net", "1.8.100",
+            server_ip="1.8.100.10", supports_https=True,
+            registrar_names=("eName Technology",),
+        ),
+        ProviderSpec(
+            "nsone", "NSONE Inc", "nsone.net", "198.51.44",
+            server_ip="198.51.44.10", supports_https=True,
+            registrar_names=("NSONE Inc",),
+        ),
+        ProviderSpec(
+            "domeneshop", "Domeneshop AS", "hyp.net", "194.63.248",
+            server_ip="194.63.248.10", supports_https=True,
+            registrar_names=("Domeneshop AS",),
+        ),
+        ProviderSpec(
+            "hover", "Hover (Tucows)", "hover.com", "216.40.47",
+            server_ip="216.40.47.10", supports_https=True,
+            registrar_names=("Tucows Domains Inc.",),
+        ),
+        ProviderSpec(
+            "ubmdns", "UBM DNS Services", "ubmdns.com", "185.21.100",
+            server_ip="185.21.100.10", supports_https=True,
+        ),
+        ProviderSpec(
+            "domainactive", "DomainActive Ltd", "domainactive.org", "185.22.100",
+            server_ip="185.22.100.10", supports_https=True,
+        ),
+        ProviderSpec(
+            "informadns", "Informa DNS", "informadns.com", "185.23.100",
+            server_ip="185.23.100.10", supports_https=True,
+        ),
+        ProviderSpec(
+            "nexuspipe", "Nexuspipe Ltd", "sone.net", "185.24.100",
+            server_ip="185.24.100.10", supports_https=True,
+        ),
+        ProviderSpec(
+            "jpberlin", "JPBerlin / Heinlein", "jpberlin.de", "185.25.100",
+            server_ip="185.25.100.10", supports_https=True,
+        ),
+        ProviderSpec(
+            "akamai", "Akamai Technologies", "akam.net", "193.108.91",
+            server_ip="193.108.91.10", supports_https=False,
+        ),
+        ProviderSpec(
+            "route53", "Amazon.com, Inc.", "awsdns.example-aws.net", "205.251.192",
+            server_ip="205.251.192.10", supports_https=False,
+            registrar_names=("Amazon Registrar",),
+        ),
+        ProviderSpec(
+            "namecheap", "Namecheap, Inc.", "registrar-servers.com", "156.154.130",
+            server_ip="156.154.130.10", supports_https=False,
+            registrar_names=("NameCheap, Inc.",),
+        ),
+        ProviderSpec(
+            "gandi", "Gandi SAS", "gandi.net", "217.70.184",
+            server_ip="217.70.184.10", supports_https=True,
+            registrar_names=("Gandi SAS",),
+        ),
+        ProviderSpec(
+            "selfhosted", "Self-hosted", "", "", server_ip="",
+            supports_https=True, ns_host_count=2,
+        ),
+    ]
+}
+
+# Generic tail of providers without HTTPS RR support (the long tail of
+# the hosting market). Gives the non-adopter majority realistic NS churn.
+GENERIC_PROVIDER_COUNT = 24
+
+
+def _generic_spec(index: int) -> ProviderSpec:
+    return ProviderSpec(
+        key=f"generic{index:02d}",
+        org=f"Generic Hosting {index:02d} LLC",
+        ns_domain=f"dns{index:02d}.generic-host.net",
+        ip_prefix=f"192.0.{index + 2}",
+        server_ip=f"192.0.{index + 2}.10",
+        supports_https=False,
+    )
+
+
+for _i in range(GENERIC_PROVIDER_COUNT):
+    _spec = _generic_spec(_i)
+    PROVIDERS[_spec.key] = _spec
+
+# Extra small providers WITH HTTPS RR support: the long tail of §4.3.3's
+# 2,884 non-Cloudflare domains (244 distinct providers at full scale).
+EXTRA_HTTPS_PROVIDER_COUNT = 24
+
+
+def _extra_https_spec(index: int) -> ProviderSpec:
+    return ProviderSpec(
+        key=f"smallhttps{index:02d}",
+        org=f"Boutique DNS {index:02d}",
+        ns_domain=f"ns.boutique{index:02d}.net",
+        ip_prefix=f"192.1.{index + 2}",
+        server_ip=f"192.1.{index + 2}.10",
+        supports_https=True,
+    )
+
+
+for _i in range(EXTRA_HTTPS_PROVIDER_COUNT):
+    _spec = _extra_https_spec(_i)
+    PROVIDERS[_spec.key] = _spec
+
+
+CLOUDFLARE = PROVIDERS["cloudflare"]
+CFNS = PROVIDERS["cfns"]
+
+# Ranked non-Cloudflare HTTPS providers with Table 3 weights (dynamic
+# Tranco column): relative share of non-CF adopter domains.
+NONCF_HTTPS_WEIGHTS: List[Tuple[str, float]] = [
+    ("ename", 185.0),
+    ("google", 159.0),
+    ("godaddy", 105.0),
+    ("nsone", 79.0),
+    ("domeneshop", 16.0),
+    ("hover", 11.0),
+    ("gandi", 6.0),
+    ("jpberlin", 4.0),
+    ("ubmdns", 3.0),
+    ("domainactive", 3.0),
+    ("informadns", 3.0),
+    ("nexuspipe", 2.0),
+] + [(f"smallhttps{i:02d}", 28.0) for i in range(EXTRA_HTTPS_PROVIDER_COUNT)]
+# Trade-off note: the real tail is ~2,300 domains over 230+ providers, which
+# would put Google+GoDaddy at ~9% of non-CF adopters. At 1/167 scale the
+# named providers must stay oversampled for Table 3/5 to be statistically
+# meaningful, which inflates the non-CF "no alpn" share (Table 8 note).
+
+# Providers a non-adopter domain may use.
+NON_HTTPS_PROVIDER_KEYS: List[str] = (
+    ["route53", "namecheap", "akamai"] + [f"generic{i:02d}" for i in range(GENERIC_PROVIDER_COUNT)]
+)
+
+# Registrar list for the congruence study (§4.5.1 / Appendix G).
+REGISTRARS = (
+    "Cloudflare, Inc.",
+    "GoDaddy.com, LLC",
+    "NameCheap, Inc.",
+    "Google LLC",
+    "Tucows Domains Inc.",
+    "Gandi SAS",
+    "Amazon Registrar",
+    "eName Technology",
+    "Domeneshop AS",
+    "PublicDomainRegistry",
+)

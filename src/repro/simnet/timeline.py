@@ -1,0 +1,80 @@
+"""The study calendar.
+
+All dates the paper keys events to, plus helpers to convert between
+calendar dates, day indices (0 = first scan day), and simulated epoch
+seconds used by the resolver clock and RRSIG validity windows.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterator, List
+
+# Measurement window (paper §4.1, Table 1).
+STUDY_START = datetime.date(2023, 5, 8)
+STUDY_END = datetime.date(2024, 3, 31)
+
+# Dataset sub-windows (Table 1).
+SOA_NS_SCAN_START = datetime.date(2023, 8, 16)
+NS_IP_WHOIS_SCAN_START = datetime.date(2023, 10, 11)
+NS_MEASUREMENT_END = datetime.date(2024, 3, 31)
+CONNECTIVITY_SCAN_START = datetime.date(2024, 1, 24)
+
+# Ecosystem events.
+H3_29_RETIREMENT = datetime.date(2023, 5, 31)  # Cloudflare drops h3-29 from alpn
+HINT_SYNC_FIX = datetime.date(2023, 6, 19)  # IP-hint/A matching jumps to >99.8%
+TRANCO_SOURCE_CHANGE = datetime.date(2023, 8, 1)  # Alexa phased out
+ECH_DISABLE = datetime.date(2023, 10, 5)  # Cloudflare disables ECH globally
+GOOGLE_QUIC_APPEARANCE = datetime.date(2024, 2, 11)  # Q043/Q046/Q050 alpn shows up
+DNSSEC_SNAPSHOT = datetime.date(2024, 1, 2)  # Table 9 validation snapshot
+
+# Hourly ECH rotation scan window (§4.4.2).
+ECH_HOURLY_SCAN_START = datetime.date(2023, 7, 21)
+ECH_HOURLY_SCAN_END = datetime.date(2023, 7, 27)
+
+# Simulated epoch: day 0 starts at this many seconds.
+_EPOCH_BASE = 1_000_000_000
+SECONDS_PER_DAY = 86_400
+
+
+def day_index(date: datetime.date) -> int:
+    """0-based index of *date* within the study window."""
+    return (date - STUDY_START).days
+
+
+def date_of(index: int) -> datetime.date:
+    return STUDY_START + datetime.timedelta(days=index)
+
+
+def epoch_seconds(date: datetime.date, hour: float = 0.0) -> int:
+    """Simulated clock value at *date* + *hour*."""
+    return int(_EPOCH_BASE + day_index(date) * SECONDS_PER_DAY + hour * 3600)
+
+
+def total_days() -> int:
+    return day_index(STUDY_END) + 1
+
+
+def study_days(step: int = 1, start: datetime.date = None, end: datetime.date = None) -> List[datetime.date]:
+    """Scan days between *start* and *end* inclusive, every *step* days."""
+    start = start or STUDY_START
+    end = end or STUDY_END
+    days = []
+    current = start
+    while current <= end:
+        days.append(current)
+        current += datetime.timedelta(days=step)
+    return days
+
+
+def iter_hours(start: datetime.date, end: datetime.date) -> Iterator[int]:
+    """Absolute hour indices (since study start) covering [start, end]."""
+    first = day_index(start) * 24
+    last = (day_index(end) + 1) * 24
+    return iter(range(first, last))
+
+
+def phase_of(date: datetime.date) -> int:
+    """1 = before the Tranco source change, 2 = after (paper splits all
+    longitudinal analyses at this boundary)."""
+    return 1 if date < TRANCO_SOURCE_CHANGE else 2

@@ -1,0 +1,531 @@
+"""The simulated Internet.
+
+Wires the domain population, provider catalogue, DNS infrastructure
+(root → TLD → authoritative), public resolvers, ECH client-facing
+server, and web-server reachability into one coherent world that the
+scanner and the browser testbed interrogate exactly like the paper's
+framework interrogated the real Internet.
+
+Time moves forward only: call :meth:`World.set_time` with increasing
+(date, hour); zone contents, ECH keys, Tranco membership, and signatures
+all follow the clock.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, List, Optional, Tuple
+
+from ..dnscore import rdtypes
+from ..dnscore.names import Name
+from ..dnscore.rdata import ARdata, DSRdata, NSRdata, RRSIGRdata
+from ..dnscore.rrset import RRset
+from ..dnssec.keys import ZoneKeySet
+from ..dnssec.signing import sign_rrset
+from ..dnssec.validation import ChainValidator
+from ..ech.keys import ECHKeyManager
+from ..resolver.authoritative import AuthoritativeServer
+from ..resolver.clock import SimClock
+from ..resolver.network import Network
+from ..resolver.recursive import RecursiveResolver
+from ..resolver.stub import ResolverFrontend, StubResolver
+from ..zones.zone import Zone
+from . import domains, ipspace, timeline
+from .cohorts import DomainProfile, make_profile
+from .config import SimConfig
+from .providers import PROVIDERS, ProviderSpec
+
+_LONG_VALIDITY = 420 * 86400  # root/TLD signatures cover the whole study
+
+ECH_PUBLIC_NAME = "cloudflare-ech.com"
+
+
+class _ProviderTree:
+    """Duck-typed ZoneTree serving a provider's infra zone plus whichever
+    domain zones are assigned to that provider *today*."""
+
+    def __init__(self, world: "World", provider: ProviderSpec):
+        self.world = world
+        self.provider = provider
+        self.infra_zone: Optional[Zone] = None
+
+    def zone_for(self, name: Name) -> Optional[Zone]:
+        profile = self.world.profile_of(name)
+        if profile is not None:
+            keys = domains.current_provider_keys(
+                profile, self.world.config, self.world.current_date
+            )
+            if self.provider.key in keys:
+                return self.world.zone_of(profile)
+            # Not served here (any more) — fall through to infra check.
+        if self.infra_zone is not None and name.is_subdomain_of(self.infra_zone.apex):
+            return self.infra_zone
+        return None
+
+
+class DynamicTldZone(Zone):
+    """A TLD zone whose delegations/DS/glue are synthesized on demand
+    from the world's domain registry."""
+
+    def __init__(self, world: "World", apex: Name):
+        super().__init__(apex, default_ttl=300)
+        self.world = world
+        self._ds_cache: Dict[Tuple[Name, int], Tuple[RRset, List[RRSIGRdata]]] = {}
+
+    # -- dynamic lookups -----------------------------------------------------
+
+    def _child_apex(self, name: Name) -> Optional[Name]:
+        profile = self.world.profile_of(name)
+        if profile is not None and profile.apex.is_subdomain_of(self.apex) and profile.apex != self.apex:
+            return profile.apex
+        infra = self.world.infra_apex_of(name)
+        if infra is not None and infra.is_subdomain_of(self.apex) and infra != self.apex:
+            return infra
+        return None
+
+    def is_delegation(self, name: Name) -> Optional[Name]:
+        if name == self.apex:
+            return None
+        child = self._child_apex(name)
+        if child is None:
+            return None
+        # A domain in its no-NS phase has no delegation at all.
+        if self.world.profile_of(child) is not None:
+            if not self._delegation_ns_names(child):
+                return None
+        return child
+
+    def _delegation_ns_names(self, child: Name) -> List[Name]:
+        profile = self.world.profile_of(child)
+        if profile is not None:
+            keys = domains.current_provider_keys(
+                profile, self.world.config, self.world.current_date
+            )
+            names: List[Name] = []
+            for key in keys:
+                if key == "selfhosted":
+                    names.extend([child.prepend("ns1"), child.prepend("ns2")])
+                else:
+                    names.extend(PROVIDERS[key].ns_hostnames(self.world.config.seed, profile.name))
+            return names
+        provider = self.world.infra_provider_of(child)
+        if provider is not None:
+            return provider.all_ns_hostnames()[:2]
+        return []
+
+    def get_rrset(self, name: Name, rdtype: int) -> Optional[RRset]:
+        static = super().get_rrset(name, rdtype)
+        if static is not None:
+            return static
+        if rdtype == rdtypes.NS:
+            child = self._child_apex(name)
+            if child == name:
+                ns_names = self._delegation_ns_names(child)
+                if ns_names:
+                    return RRset(name, rdtypes.NS, self.default_ttl, [NSRdata(n) for n in ns_names])
+            return None
+        if rdtype == rdtypes.DS:
+            rrset, _sigs = self.ds_with_sigs(name)
+            return rrset
+        if rdtype == rdtypes.A:
+            ip = self.world.glue_ip_of(name)
+            if ip is not None:
+                return RRset(name, rdtypes.A, self.default_ttl, [ARdata(ip)])
+        return None
+
+    def get_rrsigs(self, name: Name, rdtype: int) -> List[RRSIGRdata]:
+        static = super().get_rrsigs(name, rdtype)
+        if static:
+            return static
+        if rdtype == rdtypes.DS:
+            _rrset, sigs = self.ds_with_sigs(name)
+            return sigs
+        return []
+
+    def ds_with_sigs(self, child: Name) -> Tuple[Optional[RRset], List[RRSIGRdata]]:
+        """Synthesize (and sign) the DS RRset for a child domain, if the
+        domain is signed AND actually uploaded its DS (the step §4.5.1
+        finds missing for half the signed HTTPS domains)."""
+        profile = self.world.profile_of(child)
+        if profile is None or profile.apex != child:
+            return None, []
+        config = self.world.config
+        date = self.world.current_date
+        if not (profile.ds_uploaded and domains.dnssec_active(profile, config, date)):
+            return None, []
+        cache_key = (child, timeline.day_index(date))
+        cached = self._ds_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        keyset = ZoneKeySet(child)
+        rrset = RRset(child, rdtypes.DS, self.default_ttl, [keyset.ksk.ds_record(child)])
+        sigs: List[RRSIGRdata] = []
+        if self.keyset is not None:
+            inception = timeline.epoch_seconds(date) - 3600
+            sigs = [sign_rrset(rrset, self.apex, self.keyset.zsk, inception)]
+        self._ds_cache[cache_key] = (rrset, sigs)
+        if len(self._ds_cache) > 50_000:
+            self._ds_cache.clear()
+        return rrset, sigs
+
+    def has_name(self, name: Name) -> bool:
+        if super().has_name(name):
+            return True
+        return self._child_apex(name) is not None or self.world.glue_ip_of(name) is not None
+
+
+class _TldTree:
+    """Duck-typed ZoneTree for the TLD server (hosts every TLD zone)."""
+
+    def __init__(self, world: "World"):
+        self.world = world
+
+    def zone_for(self, name: Name) -> Optional[Zone]:
+        return self.world.tld_zone_containing(name)
+
+
+class _GodsEyeSource:
+    """RecordSource over the whole world for DNSSEC validation.
+
+    A real validating resolver assembles this view by querying; giving the
+    validator direct access is a simulation shortcut with identical
+    validation outcomes (the records are the same either way).
+    """
+
+    def __init__(self, world: "World"):
+        self.world = world
+
+    def fetch_with_sigs(self, name: Name, rdtype: int):
+        world = self.world
+        if rdtype == rdtypes.DS:
+            if name in world.tld_zones:
+                zone = world.root_zone
+                return zone.get_rrset(name, rdtype), zone.get_rrsigs(name, rdtype)
+            tld = world.tld_zone_containing(name)
+            if tld is not None and isinstance(tld, DynamicTldZone):
+                return tld.ds_with_sigs(name)
+            return None, []
+        zone = world.authoritative_zone_for(name)
+        if zone is None:
+            return None, []
+        return zone.get_rrset(name, rdtype), zone.get_rrsigs(name, rdtype)
+
+    def zone_apex_of(self, name: Name) -> Optional[Name]:
+        zone = self.world.authoritative_zone_for(name)
+        return zone.apex if zone is not None else None
+
+    def parent_zone_of(self, apex: Name) -> Optional[Name]:
+        if apex == Name.root():
+            return None
+        if apex in self.world.tld_zones:
+            return Name.root()
+        tld = self.world.tld_zone_containing(apex)
+        if tld is not None:
+            return tld.apex
+        return Name.root()
+
+
+class World:
+    """The simulated Internet under one :class:`SimConfig`."""
+
+    def __init__(self, config: Optional[SimConfig] = None):
+        self.config = config if config is not None else SimConfig()
+        self.profiles: List[DomainProfile] = [
+            make_profile(self.config, i) for i in range(self.config.population)
+        ]
+        self._by_apex: Dict[Name, DomainProfile] = {p.apex: p for p in self.profiles}
+
+        self.current_date: datetime.date = timeline.STUDY_START
+        self.current_hour: float = 0.0
+        self.clock = SimClock(timeline.epoch_seconds(timeline.STUDY_START))
+        self.network = Network(wire_mode=self.config.wire_mode)
+        self.ech_manager = ECHKeyManager(
+            ECH_PUBLIC_NAME,
+            seed=self.config.seed.encode(),
+            rotation_hours=self.config.ech_rotation_hours,
+        )
+
+        self._zone_cache: Dict[int, Zone] = {}
+        self._zone_cache_stamp: Tuple[datetime.date, int] = (self.current_date, 0)
+
+        self._build_infrastructure()
+        self._build_resolvers()
+
+    # ------------------------------------------------------------------
+    # infrastructure
+    # ------------------------------------------------------------------
+
+    def _build_infrastructure(self) -> None:
+        now = timeline.epoch_seconds(timeline.STUDY_START) - 86400
+        expiration = now + _LONG_VALIDITY
+
+        # Infra (provider nameserver) zones + glue map.
+        self._infra_zones: Dict[Name, Zone] = {}
+        self._infra_provider: Dict[Name, ProviderSpec] = {}
+        self._glue: Dict[Name, str] = {}
+        for provider in PROVIDERS.values():
+            if not provider.ns_domain:
+                continue
+            apex = Name.from_text(provider.ns_domain + ".")
+            if self.profile_of(apex) is not None:
+                # e.g. cf-ns.com is both a measured domain and an NS suffix;
+                # the domain zone carries the NS-host A records instead.
+                for host in provider.all_ns_hostnames():
+                    self._glue[host] = provider.server_ip
+                self._infra_provider[apex] = provider
+                continue
+            zone = Zone(apex, default_ttl=300)
+            zone.ensure_soa()
+            hostnames = provider.all_ns_hostnames()
+            zone.add_rrset(
+                RRset(apex, rdtypes.NS, 300, [NSRdata(h) for h in hostnames[:2]])
+            )
+            for host in hostnames:
+                zone.add_rrset(RRset(host, rdtypes.A, 300, [ARdata(provider.server_ip)]))
+                self._glue[host] = provider.server_ip
+            self._infra_zones[apex] = zone
+            self._infra_provider[apex] = provider
+        for profile in self.profiles:
+            if profile.provider_key == "selfhosted":
+                ns_ip = ipspace.origin_v4(self.config.seed, profile.name, generation=7)
+                self._glue[profile.apex.prepend("ns1")] = ns_ip
+                self._glue[profile.apex.prepend("ns2")] = ns_ip
+
+        # TLD zones.
+        tld_names = sorted(
+            {p.apex.labels[-2].decode() for p in self.profiles}
+            | {apex.labels[-2].decode() for apex in self._infra_zones}
+        )
+        self.tld_zones: Dict[Name, DynamicTldZone] = {}
+        for tld in tld_names:
+            apex = Name.from_text(tld + ".")
+            zone = DynamicTldZone(self, apex)
+            zone.ensure_soa(Name.from_text(f"a.nic.{tld}."))
+            zone.add_rrset(
+                RRset(apex, rdtypes.NS, 300, [NSRdata(Name.from_text(f"a.nic.{tld}."))])
+            )
+            zone.add_rrset(
+                RRset(Name.from_text(f"a.nic.{tld}."), rdtypes.A, 300, [ARdata(ipspace.TLD_SERVER_IP)])
+            )
+            zone.sign(now, expiration=expiration)
+            self.tld_zones[apex] = zone
+
+        # Root zone.
+        root = Zone(Name.root(), default_ttl=300)
+        root.ensure_soa(Name.from_text("a.root-servers.net."))
+        root.add_rrset(
+            RRset(Name.root(), rdtypes.NS, 300, [NSRdata(Name.from_text("a.root-servers.net."))])
+        )
+        root.add_rrset(
+            RRset(Name.from_text("a.root-servers.net."), rdtypes.A, 300, [ARdata(ipspace.ROOT_SERVER_IP)])
+        )
+        for apex in self.tld_zones:
+            root.delegate(apex, [Name.from_text(f"a.nic.{apex.to_text(omit_final_dot=True)}.")])
+            root.add_rrset(
+                RRset(
+                    Name.from_text(f"a.nic.{apex.to_text(omit_final_dot=True)}."),
+                    rdtypes.A,
+                    300,
+                    [ARdata(ipspace.TLD_SERVER_IP)],
+                )
+            )
+        root.sign(now, expiration=expiration)
+        # Upload each TLD's DS into the root (all TLDs are secure).
+        for apex, zone in self.tld_zones.items():
+            ds_rrset = RRset(apex, rdtypes.DS, 300, zone.ds_rdatas())
+            root._records[(apex, rdtypes.DS)] = ds_rrset
+            root._rrsigs[(apex, rdtypes.DS)] = [
+                sign_rrset(ds_rrset, Name.root(), root.keyset.zsk, now, expiration)
+            ]
+        self.root_zone = root
+
+        # Servers.
+        root_server = AuthoritativeServer("root")
+        root_server.tree.add_zone(root)
+        self.network.register_dns(ipspace.ROOT_SERVER_IP, root_server)
+
+        tld_server = AuthoritativeServer("tld")
+        tld_server.tree = _TldTree(self)
+        self.network.register_dns(ipspace.TLD_SERVER_IP, tld_server)
+
+        self.provider_servers: Dict[str, AuthoritativeServer] = {}
+        for provider in PROVIDERS.values():
+            if not provider.server_ip:
+                continue
+            server = AuthoritativeServer(provider.key)
+            server.tree = _ProviderTree(self, provider)
+            server.tree.infra_zone = self._infra_zones.get(
+                Name.from_text(provider.ns_domain + ".") if provider.ns_domain else None
+            )
+            if not provider.supports_https:
+                server.unsupported_rdtypes = {rdtypes.HTTPS, rdtypes.SVCB}
+            self.network.register_dns(provider.server_ip, server)
+            self.provider_servers[provider.key] = server
+
+        # Self-hosted domains run their own authoritative servers.
+        for profile in self.profiles:
+            if profile.provider_key == "selfhosted":
+                server = AuthoritativeServer(f"selfhosted:{profile.name}")
+                server.tree = _ProviderTree(self, PROVIDERS["selfhosted"])
+                ns_ip = ipspace.origin_v4(self.config.seed, profile.name, generation=7)
+                self.network.register_dns(ns_ip, server)
+
+        self.validator_source = _GodsEyeSource(self)
+
+    def _build_resolvers(self) -> None:
+        self.google_resolver = RecursiveResolver(
+            "google-public-dns",
+            self.network,
+            [ipspace.ROOT_SERVER_IP],
+            self.clock,
+            validator=ChainValidator(self.validator_source),
+        )
+        self.cloudflare_resolver = RecursiveResolver(
+            "cloudflare-public-dns",
+            self.network,
+            [ipspace.ROOT_SERVER_IP],
+            self.clock,
+            validator=ChainValidator(self.validator_source),
+        )
+        self.network.register_dns(ipspace.GOOGLE_RESOLVER_IP, ResolverFrontend(self.google_resolver))
+        self.network.register_dns(
+            ipspace.CLOUDFLARE_RESOLVER_IP, ResolverFrontend(self.cloudflare_resolver)
+        )
+        self.stub = StubResolver([self.google_resolver, self.cloudflare_resolver])
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    def set_time(self, date: datetime.date, hour: float = 0.0) -> None:
+        """Advance the world to *date* + *hour* (monotonic)."""
+        target = timeline.epoch_seconds(date, hour)
+        if target < self.clock.now:
+            raise ValueError("world time must move forward")
+        self.clock.set(target)
+        self.current_date = date
+        self.current_hour = hour
+        generation = self.ech_manager.generation_for_hour(self.absolute_hour())
+        stamp = (date, generation)
+        if stamp != self._zone_cache_stamp:
+            self._zone_cache.clear()
+            self._zone_cache_stamp = stamp
+
+    def absolute_hour(self) -> int:
+        return timeline.day_index(self.current_date) * 24 + int(self.current_hour)
+
+    # ------------------------------------------------------------------
+    # registry lookups
+    # ------------------------------------------------------------------
+
+    def profile_of(self, name: Name) -> Optional[DomainProfile]:
+        """The domain profile owning *name* (itself or an ancestor)."""
+        probe = name
+        while probe.split_depth() >= 2:
+            profile = self._by_apex.get(probe)
+            if profile is not None:
+                return profile
+            probe = probe.parent()
+        return None
+
+    def profile_by_name(self, text: str) -> Optional[DomainProfile]:
+        return self._by_apex.get(Name.from_text(text if text.endswith(".") else text + "."))
+
+    def infra_apex_of(self, name: Name) -> Optional[Name]:
+        probe = name
+        while probe.split_depth() >= 2:
+            if probe in self._infra_zones or probe in self._infra_provider:
+                return probe
+            probe = probe.parent()
+        return None
+
+    def infra_provider_of(self, apex: Name) -> Optional[ProviderSpec]:
+        return self._infra_provider.get(apex)
+
+    def glue_ip_of(self, name: Name) -> Optional[str]:
+        return self._glue.get(name)
+
+    def tld_zone_containing(self, name: Name) -> Optional[DynamicTldZone]:
+        if name.split_depth() < 1:
+            return None
+        tld_apex = Name((name.labels[-2], b""))
+        return self.tld_zones.get(tld_apex)
+
+    def authoritative_zone_for(self, name: Name) -> Optional[Zone]:
+        """God's-eye: the zone authoritative for *name* today."""
+        if name == Name.root() or name.split_depth() == 0:
+            return self.root_zone
+        profile = self.profile_of(name)
+        if profile is not None:
+            keys = domains.current_provider_keys(profile, self.config, self.current_date)
+            if keys:
+                return self.zone_of(profile)
+            return None  # no-NS phase: nothing authoritative
+        infra = self.infra_apex_of(name)
+        if infra is not None and infra in self._infra_zones:
+            return self._infra_zones[infra]
+        tld = self.tld_zone_containing(name)
+        if tld is not None:
+            return tld
+        if name.split_depth() == 1 and name in self.tld_zones:
+            return self.tld_zones[name]
+        return self.root_zone
+
+    # ------------------------------------------------------------------
+    # zones
+    # ------------------------------------------------------------------
+
+    def zone_of(self, profile: DomainProfile) -> Zone:
+        """Build (or fetch from the per-day cache) the domain's zone."""
+        zone = self._zone_cache.get(profile.index)
+        if zone is None:
+            ech_wire = self.ech_manager.published_wire(self.absolute_hour())
+            zone = domains.build_zone(
+                profile, self.config, self.current_date, ech_wire, self.current_hour
+            )
+            if self._infra_provider.get(profile.apex) is not None:
+                # Domain doubles as an NS suffix (cf-ns.com): host the
+                # provider's NS-host A records inside the domain zone.
+                provider = self._infra_provider[profile.apex]
+                for host in provider.all_ns_hostnames():
+                    zone.add_rrset(RRset(host, rdtypes.A, 300, [ARdata(provider.server_ip)]))
+            self._zone_cache[profile.index] = zone
+        return zone
+
+    # ------------------------------------------------------------------
+    # Tranco
+    # ------------------------------------------------------------------
+
+    def tranco_list(self, date: Optional[datetime.date] = None) -> List[str]:
+        """The ranked daily list (rank 1 first)."""
+        date = date or self.current_date
+        present = [
+            p for p in self.profiles if domains.is_listed(p, self.config, date)
+        ]
+        present.sort(key=lambda p: domains.daily_rank_key(p, self.config, date))
+        return [p.name for p in present]
+
+    def listed_profiles(self, date: Optional[datetime.date] = None) -> List[DomainProfile]:
+        date = date or self.current_date
+        return [p for p in self.profiles if domains.is_listed(p, self.config, date)]
+
+    # ------------------------------------------------------------------
+    # connectivity (TLS reachability for §4.3.5)
+    # ------------------------------------------------------------------
+
+    def tls_reachable(self, profile: DomainProfile, ip: str, date: Optional[datetime.date] = None) -> bool:
+        """Would a TLS handshake to *ip* for this domain succeed today?"""
+        date = date or self.current_date
+        a_v4, a_v6, hint_v4, hint_v6 = domains.serving_addresses(profile, self.config, date)
+        if not domains.hint_mismatch_active(profile, self.config, date):
+            return ip in (a_v4, a_v6, hint_v4, hint_v6)
+        reach = domains.mismatch_reachability(profile, self.config)
+        if reach == domains.REACH_BOTH:
+            return ip in (a_v4, a_v6, hint_v4, hint_v6)
+        if reach == domains.REACH_HINT_ONLY:
+            return ip in (hint_v4, hint_v6)
+        if reach == domains.REACH_A_ONLY:
+            return ip in (a_v4, a_v6)
+        return False
+
+

@@ -1,0 +1,5 @@
+"""WHOIS database simulation (IP → registered organisation)."""
+
+from .registry import WhoisClient, WhoisRecord, WhoisRegistry, build_default_registry
+
+__all__ = ["WhoisClient", "WhoisRecord", "WhoisRegistry", "build_default_registry"]

@@ -1,0 +1,15 @@
+"""Zone containers, the namespace tree, and zone-file I/O."""
+
+from .zone import DEFAULT_TTL, Zone, ZoneError
+from .tree import ZoneTree
+from .zonefile import ZoneFileError, parse_zone_file, serialize_zone
+
+__all__ = [
+    "DEFAULT_TTL",
+    "Zone",
+    "ZoneError",
+    "ZoneTree",
+    "ZoneFileError",
+    "parse_zone_file",
+    "serialize_zone",
+]

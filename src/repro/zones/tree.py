@@ -1,0 +1,107 @@
+"""A tree of zones forming a DNS namespace.
+
+Implements the :class:`repro.dnssec.validation.RecordSource` protocol so a
+:class:`~repro.dnssec.validation.ChainValidator` can walk the delegation
+chain, and provides the DS-upload step that so many domains in the paper
+skip (§4.5.1: third-party DNS operator, registrar never gets the DS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dnscore import rdtypes
+from ..dnscore.names import Name
+from ..dnscore.rdata import RRSIGRdata
+from ..dnscore.rrset import RRset
+from ..dnssec.signing import sign_rrset
+from .zone import Zone, ZoneError
+
+
+class ZoneTree:
+    """All zones of a namespace, keyed by apex, longest-suffix matched."""
+
+    def __init__(self):
+        self._zones: Dict[Name, Zone] = {}
+
+    def add_zone(self, zone: Zone) -> None:
+        if zone.apex in self._zones:
+            raise ZoneError(f"zone {zone.apex} already present")
+        self._zones[zone.apex] = zone
+
+    def get_zone(self, apex: Name) -> Optional[Zone]:
+        return self._zones.get(apex)
+
+    def zones(self) -> List[Zone]:
+        return list(self._zones.values())
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def zone_for(self, name: Name) -> Optional[Zone]:
+        """The most specific zone whose apex is a suffix of *name*,
+        honouring delegation cuts (a delegated child with its own zone in
+        the tree wins; a delegated child *without* a zone means lame)."""
+        best: Optional[Zone] = None
+        for apex, zone in self._zones.items():
+            if name.is_subdomain_of(apex):
+                if best is None or len(apex) > len(best.apex):
+                    best = zone
+        return best
+
+    # -- DS upload (the step many domains forget) ---------------------------
+
+    def upload_ds(self, child_apex: Name, now: int) -> None:
+        """Publish the child's DS RRset in the parent zone and (re)sign it.
+
+        In the real ecosystem this is the registrar interaction that fails
+        when the DNS operator and registrar differ (paper §4.5.1 / Table 9).
+        """
+        child = self._zones.get(child_apex)
+        if child is None or child.keyset is None:
+            raise ZoneError(f"child zone {child_apex} missing or unsigned")
+        parent = self.parent_zone_of_apex(child_apex)
+        if parent is None:
+            raise ZoneError(f"no parent zone for {child_apex}")
+        ds_rrset = RRset(child_apex, rdtypes.DS, parent.default_ttl, child.ds_rdatas())
+        parent._records[(child_apex, rdtypes.DS)] = ds_rrset
+        if parent.signed and parent.keyset is not None:
+            rrsig = sign_rrset(ds_rrset, parent.apex, parent.keyset.zsk, now)
+            parent._rrsigs[(child_apex, rdtypes.DS)] = [rrsig]
+
+    def parent_zone_of_apex(self, apex: Name) -> Optional[Zone]:
+        name = apex
+        while name != Name.root():
+            name = name.parent()
+            zone = self._zones.get(name)
+            if zone is not None:
+                return zone
+            if name == Name.root():
+                break
+        return self._zones.get(Name.root()) if apex != Name.root() else None
+
+    # -- RecordSource protocol -------------------------------------------------
+
+    def fetch_with_sigs(
+        self, name: Name, rdtype: int
+    ) -> Tuple[Optional[RRset], List[RRSIGRdata]]:
+        # DS RRsets live in the parent zone of the owner name.
+        if rdtype == rdtypes.DS:
+            parent = self.parent_zone_of_apex(name)
+            if parent is None:
+                return None, []
+            return parent.get_rrset(name, rdtype), parent.get_rrsigs(name, rdtype)
+        zone = self.zone_for(name)
+        if zone is None:
+            return None, []
+        return zone.get_rrset(name, rdtype), zone.get_rrsigs(name, rdtype)
+
+    def zone_apex_of(self, name: Name) -> Optional[Name]:
+        zone = self.zone_for(name)
+        return zone.apex if zone is not None else None
+
+    def parent_zone_of(self, apex: Name) -> Optional[Name]:
+        if apex == Name.root():
+            return None
+        parent = self.parent_zone_of_apex(apex)
+        return parent.apex if parent is not None else None

@@ -1,0 +1,212 @@
+"""BIND-style zone file parsing and serialization.
+
+Supports the subset of RFC 1035 master-file syntax the study's testbed
+uses: ``$ORIGIN`` / ``$TTL`` directives, relative owner names, ``@`` for
+the origin, blank-owner continuation (repeat the previous owner),
+parenthesized multi-line records (SOA), ``;`` comments, and optional
+class fields. Record data is parsed by the rdata classes, so HTTPS/SVCB
+presentation syntax (including quoted SvcParam values) round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..dnscore import rdtypes
+from ..dnscore.names import Name
+from ..dnscore.rdata import rdata_from_text
+from ..dnscore.rrset import RRset
+from .zone import DEFAULT_TTL, Zone, ZoneError
+
+
+class ZoneFileError(ValueError):
+    """Malformed zone file."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``;`` comment, honouring double quotes."""
+    out = []
+    in_quotes = False
+    for ch in line:
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == ";" and not in_quotes:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _logical_lines(text: str) -> Iterable[Tuple[int, str]]:
+    """Yield (line_number, logical line), joining parenthesized spans."""
+    buffer: List[str] = []
+    start_line = 0
+    depth = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line.strip() and depth == 0:
+            continue
+        if depth == 0:
+            start_line = number
+        depth += line.count("(") - line.count(")")
+        if depth < 0:
+            raise ZoneFileError("unbalanced ')'", number)
+        buffer.append(line)
+        if depth == 0:
+            yield start_line, " ".join(buffer).replace("(", " ").replace(")", " ")
+            buffer = []
+    if depth != 0:
+        raise ZoneFileError("unbalanced '(' at end of file", start_line)
+
+
+def _is_ttl(token: str) -> bool:
+    return token.isdigit() or (
+        len(token) > 1 and token[:-1].isdigit() and token[-1].upper() in "SMHDW"
+    )
+
+
+_TTL_UNITS = {"S": 1, "M": 60, "H": 3600, "D": 86400, "W": 604800}
+
+
+def parse_ttl(token: str) -> int:
+    if token.isdigit():
+        return int(token)
+    unit = token[-1].upper()
+    if unit in _TTL_UNITS and token[:-1].isdigit():
+        return int(token[:-1]) * _TTL_UNITS[unit]
+    raise ZoneFileError(f"bad TTL {token!r}")
+
+
+def _resolve_owner(token: str, origin: Optional[Name], line_number: int) -> Name:
+    if token == "@":
+        if origin is None:
+            raise ZoneFileError("'@' used before $ORIGIN", line_number)
+        return origin
+    if token.endswith("."):
+        return Name.from_text(token)
+    if origin is None:
+        raise ZoneFileError(f"relative name {token!r} before $ORIGIN", line_number)
+    relative = Name.from_text(token + ".")
+    return Name(relative.labels[:-1] + origin.labels)
+
+
+def parse_zone_file(
+    text: str,
+    origin: Optional[str] = None,
+    default_ttl: int = DEFAULT_TTL,
+    allow_apex_cname: bool = False,
+) -> Zone:
+    """Parse master-file *text* into a :class:`Zone`.
+
+    *origin* seeds ``$ORIGIN`` (required unless the file sets it). The
+    zone apex is the origin in effect at the first record.
+    """
+    current_origin = Name.from_text(origin) if origin else None
+    current_ttl = default_ttl
+    previous_owner: Optional[Name] = None
+    records: List[Tuple[Name, int, int, str, int]] = []
+
+    for line_number, line in _logical_lines(text):
+        tokens = line.split()
+        if not tokens:
+            continue
+        directive = tokens[0].upper()
+        if directive == "$ORIGIN":
+            if len(tokens) != 2:
+                raise ZoneFileError("$ORIGIN needs exactly one argument", line_number)
+            current_origin = Name.from_text(tokens[1])
+            continue
+        if directive == "$TTL":
+            if len(tokens) != 2:
+                raise ZoneFileError("$TTL needs exactly one argument", line_number)
+            current_ttl = parse_ttl(tokens[1])
+            continue
+        if directive.startswith("$"):
+            raise ZoneFileError(f"unsupported directive {tokens[0]}", line_number)
+
+        # Owner column: present unless the raw line started with whitespace.
+        if line[0].isspace():
+            owner = previous_owner
+            if owner is None:
+                raise ZoneFileError("continuation line before any owner", line_number)
+            fields = tokens
+        else:
+            owner = _resolve_owner(tokens[0], current_origin, line_number)
+            fields = tokens[1:]
+        previous_owner = owner
+
+        # [TTL] [class] type rdata — TTL and class may appear in either order.
+        ttl = current_ttl
+        while fields:
+            if _is_ttl(fields[0]):
+                ttl = parse_ttl(fields[0])
+                fields = fields[1:]
+            elif fields[0].upper() in ("IN", "CH", "HS"):
+                fields = fields[1:]
+            else:
+                break
+        if not fields:
+            raise ZoneFileError("missing record type", line_number)
+        try:
+            rdtype = rdtypes.text_to_type(fields[0])
+        except ValueError as exc:
+            raise ZoneFileError(str(exc), line_number) from exc
+        rdata_text = " ".join(fields[1:])
+        records.append((owner, ttl, rdtype, rdata_text, line_number))
+
+    if not records:
+        raise ZoneFileError("zone file contains no records")
+    if current_origin is None:
+        current_origin = records[0][0]
+
+    zone = Zone(current_origin, allow_apex_cname=allow_apex_cname, default_ttl=default_ttl)
+    for owner, ttl, rdtype, rdata_text, line_number in records:
+        try:
+            rdata = rdata_from_text(rdtype, rdata_text)
+        except Exception as exc:
+            raise ZoneFileError(f"bad rdata: {exc}", line_number) from exc
+        try:
+            zone.add_rrset(RRset(owner, rdtype, ttl, [rdata]))
+        except ZoneError as exc:
+            raise ZoneFileError(str(exc), line_number) from exc
+    return zone
+
+
+def serialize_zone(zone: Zone, relativize: bool = True) -> str:
+    """Render *zone* back to master-file text (stable ordering: SOA first,
+    then owner-name order)."""
+    origin = zone.apex
+    lines = [f"$ORIGIN {origin.to_text()}", f"$TTL {zone.default_ttl}"]
+
+    def owner_text(name: Name) -> str:
+        if not relativize:
+            return name.to_text()
+        if name == origin:
+            return "@"
+        if name.is_subdomain_of(origin):
+            depth = len(origin.labels)
+            return Name(name.labels[: len(name.labels) - depth] + (b"",)).to_text(
+                omit_final_dot=True
+            )
+        return name.to_text()
+
+    rrsets = sorted(
+        zone.rrsets(),
+        key=lambda rrset: (
+            rrset.rdtype != rdtypes.SOA,  # SOA first
+            rrset.name.to_text(),
+            rrset.rdtype,
+        ),
+    )
+    for rrset in rrsets:
+        for rdata in rrset:
+            lines.append(
+                f"{owner_text(rrset.name)} {rrset.ttl} IN "
+                f"{rdtypes.type_to_text(rrset.rdtype)} {rdata.to_text()}"
+            )
+    return "\n".join(lines) + "\n"

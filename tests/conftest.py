@@ -1,0 +1,32 @@
+"""Shared fixtures: a small world and a small campaign dataset.
+
+Session-scoped because world construction and campaign scanning dominate
+test runtime; all consumers treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scanner import run_campaign
+from repro.simnet import SimConfig, World
+
+
+TEST_POPULATION = 900
+
+
+@pytest.fixture(scope="session")
+def sim_config() -> SimConfig:
+    return SimConfig(population=TEST_POPULATION)
+
+
+@pytest.fixture(scope="session")
+def world(sim_config) -> World:
+    return World(sim_config)
+
+
+@pytest.fixture(scope="session")
+def dataset(sim_config):
+    """A compact but full-featured campaign (includes the ECH hourly
+    window, the DNSSEC snapshot, and the connectivity window)."""
+    return run_campaign(World(sim_config), day_step=21, ech_sample=40)

@@ -1,0 +1,213 @@
+"""Shape tests for every §4 analysis, against the shared campaign dataset.
+
+These assert the *qualitative* findings of the paper (directions,
+orderings, bands) — the benchmark harness prints the quantitative
+comparison.
+"""
+
+import datetime
+
+import pytest
+
+from repro.analysis import (
+    adoption,
+    dnssec_analysis,
+    ech_analysis,
+    hints,
+    intermittent,
+    nameservers,
+    parameters,
+    tranco,
+)
+from repro.analysis.common import classify_ns_set, ns_is_cloudflare
+from repro.simnet import timeline
+
+
+class TestCommonHelpers:
+    def test_cloudflare_ns_detection(self):
+        assert ns_is_cloudflare("alice.ns.cloudflare.com")
+        assert ns_is_cloudflare("ns1.cf-ns.com.")
+        assert not ns_is_cloudflare("ns1.googledomains.com")
+        assert not ns_is_cloudflare("evilns.cloudflare.com.attacker.net")
+
+    def test_classify_ns_set(self):
+        assert classify_ns_set(["alice.ns.cloudflare.com", "bob.ns.cloudflare.com"]) == "full"
+        assert classify_ns_set(["ns1.googledomains.com"]) == "none"
+        assert classify_ns_set(["alice.ns.cloudflare.com", "ns1.googledomains.com"]) == "partial"
+        assert classify_ns_set([]) is None
+
+
+class TestAdoption:
+    def test_band_and_trends(self, dataset):
+        summary = adoption.summarize(dataset)
+        assert summary.in_paper_band, "rates must stay within ~20-27%"
+        assert summary.dynamic_rising
+        assert summary.overlapping_stable_or_declining
+
+    def test_series_cover_all_days(self, dataset):
+        series = adoption.dynamic_adoption(dataset)
+        assert len(series["apex"].points) == len(dataset.days())
+        assert len(series["www"].points) == len(dataset.days())
+
+    def test_www_close_to_apex(self, dataset):
+        series = adoption.dynamic_adoption(dataset)
+        for (day_a, apex_pct), (_day_w, www_pct) in zip(
+            series["apex"].points, series["www"].points
+        ):
+            assert abs(apex_pct - www_pct) < 5.0
+
+
+class TestNameServers:
+    def test_table2_cloudflare_dominates(self, dataset):
+        stats = nameservers.table2_ns_shares(dataset)
+        assert stats.full_mean_pct > 95.0
+        assert stats.none_mean_pct < 5.0
+        assert stats.partial_mean_pct < 1.0
+        total = stats.full_mean_pct + stats.none_mean_pct + stats.partial_mean_pct
+        assert abs(total - 100.0) < 0.5
+
+    def test_table3_has_entries(self, dataset):
+        top = nameservers.table3_top_noncf_providers(dataset)
+        assert top
+        counts = [count for _org, count in top]
+        assert counts == sorted(counts, reverse=True)
+        assert "Cloudflare, Inc." not in dict(top)
+
+    def test_fig3_counts_positive(self, dataset):
+        points = nameservers.fig3_noncf_provider_counts(dataset)
+        assert points and all(count >= 1 for _day, count in points)
+
+    def test_fig10_counts(self, dataset):
+        points = nameservers.fig10_noncf_domain_counts(dataset)
+        assert points and all(count >= 1 for _day, count in points)
+
+    def test_fig9_ranks(self, dataset):
+        ranked = nameservers.fig9_noncf_ranks(dataset)
+        assert all(rank >= 1 for _name, rank in ranked)
+
+
+class TestParameters:
+    def test_table4_band(self, dataset):
+        result = parameters.table4_default_vs_custom(dataset)
+        assert 65.0 <= result.default_pct <= 90.0
+        assert abs(result.default_pct + result.customized_pct - 100.0) < 0.01
+
+    def test_priority_stats(self, dataset):
+        stats = parameters.priority_target_stats(dataset)
+        assert stats.service_mode_share_pct > 95.0
+        assert stats.priority_one_share_pct > 90.0
+        assert stats.alias_self_target_count >= 1  # newlinesmag.com etc.
+
+    def test_table8_alpn_shape(self, dataset):
+        stats = parameters.table8_alpn(dataset)
+        assert stats.h2_pct > 90.0
+        assert 50.0 < stats.h3_pct <= stats.h2_pct
+        assert stats.h3_29_before_pct > 50.0
+        assert stats.h3_29_after_pct < 2.0  # retired May 31
+
+    def test_noncf_alpn_lower(self, dataset):
+        noncf = parameters.noncf_alpn_shares(dataset)
+        overall = parameters.table8_alpn(dataset)
+        assert noncf["h2"] < overall.h2_pct
+        assert noncf["no_alpn"] > overall.no_alpn_pct
+
+
+class TestHints:
+    def test_fig11_usage_band(self, dataset):
+        points = hints.fig11_hint_series(dataset)
+        last = points[-1]
+        assert last.ipv4_usage_pct > 85.0
+        assert last.ipv6_usage_pct > 70.0
+        assert last.ipv4_usage_pct >= last.ipv6_usage_pct
+
+    def test_fig11_match_improves_after_fix(self, dataset):
+        points = hints.fig11_hint_series(dataset)
+        before = [p.ipv4_match_pct for p in points if p.date < timeline.HINT_SYNC_FIX]
+        after = [p.ipv4_match_pct for p in points if p.date >= timeline.HINT_SYNC_FIX]
+        assert before and after
+        assert sum(after) / len(after) > sum(before) / len(before)
+
+    def test_fig12_persistent_domains(self, dataset):
+        result = hints.fig12_mismatch_durations(dataset)
+        assert "cf-ns.com" in result.persistent_domains
+        assert "cf-ns.net" in result.persistent_domains
+
+    def test_connectivity_report_shape(self, dataset):
+        report = hints.connectivity_report(dataset)
+        assert report.occurrences >= report.distinct_domains >= 1
+        assert report.domains_with_unreachable <= report.distinct_domains
+        assert (
+            report.hint_only_reachable + report.a_only_reachable + report.neither_reachable
+            <= report.domains_with_unreachable
+        )
+
+
+class TestEch:
+    def test_disable_event(self, dataset):
+        event = ech_analysis.detect_disable_event(dataset)
+        assert event.matches_paper
+        assert event.pre_disable_mean_pct > 50.0
+        assert event.post_disable_max_pct < 1.0
+
+    def test_rotation_stats(self, dataset):
+        stats = ech_analysis.fig4_rotation(dataset)
+        assert stats.distinct_configs > 100  # ~133 generations over 7 days
+        assert stats.public_names == ("cloudflare-ech.com",)
+        assert 1.1 <= stats.overall_mean_hours <= 1.4
+
+    def test_fig14_signed_small(self, dataset):
+        points = ech_analysis.fig14_signed_ech_share(dataset)
+        pre = [s for d, s, _v in points if d < timeline.ECH_DISABLE]
+        assert pre and max(pre) < 15.0
+
+    def test_all_ech_points_to_cloudflare(self, dataset):
+        targets = ech_analysis.noncf_ech_targets(dataset)
+        assert set(targets) == {"cloudflare-ech.com"}
+
+
+class TestDnssec:
+    def test_fig5_band(self, dataset):
+        points = dnssec_analysis.fig5_signed_series(dataset)
+        assert points
+        for point in points:
+            assert point.signed_pct < 15.0
+            assert point.validated_pct <= point.signed_pct
+
+    def test_table9_insecure_pattern(self, dataset):
+        rows = {row.category: row for row in dnssec_analysis.table9_validation(dataset)}
+        with_https = rows["with HTTPS RR"]
+        without = rows["without HTTPS RR"]
+        assert with_https.signed > 0 and without.signed > 0
+        # The paper's core finding: HTTPS publishers are far more often
+        # insecure (missing DS) than non-publishers.
+        assert with_https.insecure_pct > without.insecure_pct + 10.0
+        cloudflare = rows["- Cloudflare"]
+        assert cloudflare.signed >= rows["- Non-Cloudflare"].signed
+
+    def test_registrar_congruence_low(self, dataset):
+        congruence = dnssec_analysis.registrar_congruence(dataset)
+        assert congruence.signed_https_domains > 0
+        assert congruence.congruent_pct < 60.0
+
+    def test_ech_dnssec_overlap_small(self, dataset):
+        signed, validated = dnssec_analysis.ech_dnssec_overlap(dataset)
+        assert signed < 15.0
+        assert validated <= signed
+
+
+class TestIntermittency:
+    def test_report_shape(self, dataset):
+        report = intermittent.analyze_intermittency(dataset)
+        assert report.intermittent_domains > 0
+        assert report.same_ns_domains <= report.intermittent_domains
+        assert report.same_ns_cloudflare_only <= report.same_ns_domains
+        # Paper: ~98% of the same-NS intermittents are Cloudflare-only.
+        if report.same_ns_domains >= 5:
+            assert report.same_ns_cloudflare_share > 0.7
+
+
+class TestTranco:
+    def test_fig8_overlapping_more_popular(self, dataset):
+        dist = tranco.fig8_rank_distributions(dataset)
+        assert dist.overlapping_ranks and dist.non_overlapping_ranks
+        assert dist.overlapping_median() < dist.non_overlapping_median()

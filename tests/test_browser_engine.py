@@ -1,0 +1,255 @@
+"""Per-browser behaviour tests driving the engine through the testbed."""
+
+import base64
+
+import pytest
+
+from repro.browser.policy import CHROME, EDGE, FIREFOX, SAFARI
+from repro.browser.testbed import (
+    ALT_WEB_SERVER_IP,
+    TEST_DOMAIN,
+    Testbed,
+    WEB_SERVER_IP,
+)
+from repro.dnscore import rdtypes
+
+
+@pytest.fixture()
+def testbed():
+    return Testbed()
+
+
+def simple_setup(testbed, rdata="1 . alpn=h2"):
+    testbed.clear_endpoints()
+    testbed.simple_service_zone(rdata)
+    testbed.install_web_server()
+
+
+class TestUrlForms:
+    def test_all_browsers_query_https_rr(self, testbed):
+        simple_setup(testbed)
+        for name in ("Chrome", "Safari", "Edge", "Firefox"):
+            testbed.new_round()
+            browser = testbed.browser(name)
+            browser.navigate(TEST_DOMAIN)
+            assert any(t == rdtypes.HTTPS for _n, t in browser.dns_log), name
+
+    def test_chrome_upgrades_plain_url(self, testbed):
+        simple_setup(testbed)
+        result = testbed.browser("Chrome").navigate(TEST_DOMAIN)
+        assert result.success and result.scheme == "https"
+
+    def test_safari_stays_on_http_for_plain_url(self, testbed):
+        simple_setup(testbed)
+        result = testbed.browser("Safari").navigate(TEST_DOMAIN)
+        assert result.success and result.scheme == "http"
+        assert result.port == 80
+
+    def test_safari_uses_record_on_https_url(self, testbed):
+        simple_setup(testbed)
+        result = testbed.browser("Safari").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success and result.scheme == "https"
+        assert result.used_https_rr
+
+    def test_firefox_requires_doh(self, testbed):
+        simple_setup(testbed)
+        firefox = testbed.browser("Firefox")
+        firefox.doh_enabled = False
+        try:
+            testbed.new_round()
+            firefox.navigate(TEST_DOMAIN)
+            assert not any(t == rdtypes.HTTPS for _n, t in firefox.dns_log)
+        finally:
+            firefox.doh_enabled = True
+
+    def test_http_url_upgraded_by_chromium(self, testbed):
+        simple_setup(testbed)
+        result = testbed.browser("Edge").navigate(f"http://{TEST_DOMAIN}")
+        assert result.scheme == "https"
+
+
+class TestAliasMode:
+    def alias_setup(self, testbed):
+        testbed.clear_endpoints()
+        testbed.set_zone_records([
+            ("@", "HTTPS", f"0 pool.{TEST_DOMAIN}."),
+            ("pool", "A", WEB_SERVER_IP),
+        ])
+        testbed.install_web_server()
+
+    def test_safari_follows_alias(self, testbed):
+        self.alias_setup(testbed)
+        result = testbed.browser("Safari").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success
+        assert result.followed_target == f"pool.{TEST_DOMAIN}"
+
+    @pytest.mark.parametrize("name", ["Chrome", "Edge", "Firefox"])
+    def test_others_fail_without_apex_a(self, testbed, name):
+        self.alias_setup(testbed)
+        result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+        assert not result.success
+        assert result.error == "dns_no_address"
+
+
+class TestServiceTarget:
+    def target_setup(self, testbed):
+        testbed.clear_endpoints()
+        testbed.set_zone_records([
+            ("@", "HTTPS", f"1 pool.{TEST_DOMAIN}. alpn=h2"),
+            ("@", "A", WEB_SERVER_IP),
+            ("pool", "A", ALT_WEB_SERVER_IP),
+        ])
+        testbed.install_web_server(ip=ALT_WEB_SERVER_IP)
+        testbed.install_web_server(ip=WEB_SERVER_IP)
+
+    @pytest.mark.parametrize("name,expected_ip", [
+        ("Safari", ALT_WEB_SERVER_IP),
+        ("Firefox", ALT_WEB_SERVER_IP),
+        ("Chrome", WEB_SERVER_IP),
+        ("Edge", WEB_SERVER_IP),
+    ])
+    def test_target_following(self, testbed, name, expected_ip):
+        self.target_setup(testbed)
+        result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+        assert result.success
+        assert result.ip == expected_ip
+
+
+class TestPort:
+    def test_safari_firefox_use_port(self, testbed):
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 . alpn=h2 port=8443")
+        testbed.install_web_server(port=8443)
+        for name in ("Safari", "Firefox"):
+            testbed.new_round()
+            result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+            assert result.success and result.port == 8443, name
+
+    def test_chromium_hard_fails_on_port(self, testbed):
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 . alpn=h2 port=8443")
+        testbed.install_web_server(port=8443)
+        for name in ("Chrome", "Edge"):
+            testbed.new_round()
+            result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+            assert not result.success, name
+
+    def test_port_failover_to_443(self, testbed):
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 . alpn=h2 port=8443")
+        testbed.install_web_server(port=443)
+        for name in ("Safari", "Firefox"):
+            testbed.new_round()
+            result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+            assert result.success and result.port == 443, name
+            assert result.failover_used
+
+
+class TestHints:
+    def hint_setup(self, testbed, hint_alive=True, a_alive=True):
+        testbed.clear_endpoints()
+        testbed.set_zone_records([
+            ("@", "HTTPS", f"1 . alpn=h2 ipv4hint={WEB_SERVER_IP}"),
+            ("@", "A", ALT_WEB_SERVER_IP),
+        ])
+        if hint_alive:
+            testbed.install_web_server(ip=WEB_SERVER_IP)
+        if a_alive:
+            testbed.install_web_server(ip=ALT_WEB_SERVER_IP)
+
+    def test_preferences(self, testbed):
+        self.hint_setup(testbed)
+        assert testbed.browser("Safari").navigate(f"https://{TEST_DOMAIN}").ip == WEB_SERVER_IP
+        testbed.new_round()
+        assert testbed.browser("Chrome").navigate(f"https://{TEST_DOMAIN}").ip == ALT_WEB_SERVER_IP
+
+    def test_safari_immediate_failover(self, testbed):
+        self.hint_setup(testbed, hint_alive=False)
+        result = testbed.browser("Safari").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success and result.ip == ALT_WEB_SERVER_IP
+        assert result.failover_used and not result.failover_delayed
+
+    def test_firefox_delayed_failover(self, testbed):
+        self.hint_setup(testbed, a_alive=False)
+        result = testbed.browser("Firefox").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success and result.ip == WEB_SERVER_IP
+
+    def test_chromium_hard_fail_when_a_dead(self, testbed):
+        self.hint_setup(testbed, a_alive=False)
+        for name in ("Chrome", "Edge"):
+            testbed.new_round()
+            result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+            assert not result.success, name
+
+
+class TestAlpn:
+    @pytest.mark.parametrize("protocol", ["h2", "h3"])
+    def test_negotiates_advertised_protocol(self, testbed, protocol):
+        testbed.clear_endpoints()
+        testbed.simple_service_zone(f"1 . alpn={protocol}")
+        testbed.install_web_server(alpn=(protocol,))
+        for name in ("Chrome", "Safari", "Edge", "Firefox"):
+            testbed.new_round()
+            result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+            assert result.success and result.alpn == protocol, name
+
+    def test_firefox_h3_compat_note(self, testbed):
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 . alpn=h3")
+        testbed.install_web_server(alpn=("h3",))
+        result = testbed.browser("Firefox").navigate(f"https://{TEST_DOMAIN}")
+        assert any("h2" in event for event in result.events)
+
+    def test_chromium_ignores_empty_param_record(self, testbed):
+        """Chromium disregards an HTTPS RR with no SvcParams at all."""
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 .")
+        testbed.install_web_server()
+        result = testbed.browser("Chrome").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success
+        assert not result.used_https_rr or any("ignored" in e for e in result.events)
+
+
+class TestEchEngine:
+    def ech_setup(self, testbed, km, server_keys=None, retry_wire=None):
+        wire = km.published_wire(0)
+        encoded = base64.b64encode(wire).decode()
+        shared_ip = "2.2.2.2"
+        testbed.set_zone_records([
+            ("@", "HTTPS", f"1 . alpn=h2 ech={encoded}"),
+            ("@", "A", shared_ip),
+            ("cover", "A", shared_ip),
+        ])
+        testbed.clear_endpoints()
+        testbed.network.unregister_tcp(shared_ip, 443)
+        testbed.install_web_server(
+            ip=shared_ip,
+            cert_names=(TEST_DOMAIN, f"cover.{TEST_DOMAIN}"),
+            ech_keypairs=server_keys if server_keys is not None else km.active_keypairs(0),
+            ech_retry_wire=retry_wire,
+        )
+
+    def test_ech_accepted(self, testbed):
+        km = testbed.make_ech_manager()
+        self.ech_setup(testbed, km)
+        for name in ("Chrome", "Edge", "Firefox"):
+            testbed.new_round()
+            result = testbed.browser(name).navigate(f"https://{TEST_DOMAIN}")
+            assert result.success and result.ech_accepted, name
+
+    def test_safari_never_offers_ech(self, testbed):
+        km = testbed.make_ech_manager()
+        self.ech_setup(testbed, km)
+        result = testbed.browser("Safari").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success
+        assert not result.ech_offered
+
+    def test_key_mismatch_retry(self, testbed):
+        from repro.ech.config import ECHConfigList
+
+        km = testbed.make_ech_manager()
+        fresh_keys = [km.keypair_for_generation(9)]
+        retry_wire = ECHConfigList([km.config_for_generation(9)]).to_wire()
+        self.ech_setup(testbed, km, server_keys=fresh_keys, retry_wire=retry_wire)
+        result = testbed.browser("Firefox").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success and result.ech_retried and result.ech_accepted

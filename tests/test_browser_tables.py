@@ -1,0 +1,59 @@
+"""The paper's Tables 6 and 7, regenerated and checked cell by cell."""
+
+import pytest
+
+from repro.browser.experiments import FULL, HALF, NONE, build_table6, build_table7
+
+
+@pytest.fixture(scope="module")
+def table6():
+    return build_table6()
+
+
+@pytest.fixture(scope="module")
+def table7():
+    return build_table7()
+
+
+# Expected Table 6 (paper §5, Table 6).
+TABLE6_EXPECTED = {
+    "{apex}": {"Chrome": FULL, "Safari": HALF, "Edge": FULL, "Firefox": FULL},
+    "http://{apex}": {"Chrome": FULL, "Safari": HALF, "Edge": FULL, "Firefox": FULL},
+    "https://{apex}": {"Chrome": FULL, "Safari": FULL, "Edge": FULL, "Firefox": FULL},
+    "AliasMode TargetName": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": NONE},
+    "TargetName": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": FULL},
+    "port": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": FULL},
+    "alpn": {"Chrome": FULL, "Safari": FULL, "Edge": FULL, "Firefox": FULL},
+    "IP hints": {"Chrome": NONE, "Safari": FULL, "Edge": NONE, "Firefox": FULL},
+}
+
+# Expected Table 7 (paper §5.3, Table 7). Safari is excluded (no ECH).
+TABLE7_EXPECTED = {
+    "Shared Mode Support": {"Chrome": FULL, "Edge": FULL, "Firefox": FULL},
+    "(1) Unilateral ECH": {"Chrome": FULL, "Edge": FULL, "Firefox": FULL},
+    "(2) Malformed ECH": {"Chrome": NONE, "Edge": NONE, "Firefox": FULL},
+    "(3) Mismatched key": {"Chrome": FULL, "Edge": FULL, "Firefox": FULL},
+    "Split Mode Support": {"Chrome": NONE, "Edge": NONE, "Firefox": NONE},
+}
+
+
+@pytest.mark.parametrize("row", sorted(TABLE6_EXPECTED))
+def test_table6_row(table6, row):
+    assert table6.rows[row] == TABLE6_EXPECTED[row], f"Table 6 row {row!r} diverges"
+
+
+@pytest.mark.parametrize("row", sorted(TABLE7_EXPECTED))
+def test_table7_row(table7, row):
+    assert table7.rows[row] == TABLE7_EXPECTED[row], f"Table 7 row {row!r} diverges"
+
+
+def test_table7_split_mode_error_string(table7):
+    """Chrome/Edge show the ERR_ECH_FALLBACK_CERTIFICATE_INVALID error."""
+    joined = " ".join(table7.notes)
+    assert "ERR_ECH_FALLBACK_CERTIFICATE_INVALID" in joined
+
+
+def test_tables_render(table6, table7):
+    for matrix in (table6, table7):
+        text = matrix.render()
+        assert "●" in text and "○" in text

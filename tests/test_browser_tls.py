@@ -1,0 +1,154 @@
+"""Tests for the TLS/web-server simulation."""
+
+import pytest
+
+from repro.browser.tls import (
+    Certificate,
+    ClientHello,
+    WebServer,
+    seal_inner_hello,
+)
+from repro.ech.config import ECHConfigList
+from repro.ech.keys import ECHKeyManager
+
+
+def make_server(**kwargs):
+    defaults = dict(
+        name="web",
+        certificate=Certificate(("a.example",)),
+        alpn=("h2", "http/1.1"),
+    )
+    defaults.update(kwargs)
+    return WebServer(**defaults)
+
+
+class TestCertificate:
+    def test_exact_match(self):
+        cert = Certificate(("a.example",))
+        assert cert.covers("a.example")
+        assert cert.covers("A.EXAMPLE.")
+        assert not cert.covers("b.example")
+
+    def test_wildcard(self):
+        cert = Certificate(("*.example",))
+        assert cert.covers("a.example")
+        assert not cert.covers("example")
+
+
+class TestPlainHandshake:
+    def test_success(self):
+        server = make_server()
+        result = server.handle_connection(ClientHello("a.example", ("h2",)))
+        assert result.connected
+        assert result.alpn == "h2"
+        assert result.cert_valid_for_sni
+
+    def test_cert_mismatch(self):
+        server = make_server()
+        result = server.handle_connection(ClientHello("other.example", ("h2",)))
+        assert not result.connected
+        assert result.error == "certificate_name_mismatch"
+
+    def test_alpn_negotiation_order(self):
+        server = make_server(alpn=("h3", "h2"))
+        result = server.handle_connection(ClientHello("a.example", ("h2", "h3")))
+        assert result.alpn == "h2"  # client preference wins
+
+    def test_no_common_alpn(self):
+        server = make_server(alpn=("h3",))
+        result = server.handle_connection(ClientHello("a.example", ("h2",)))
+        assert not result.connected
+        assert result.error == "no_application_protocol"
+
+    def test_empty_client_alpn(self):
+        server = make_server()
+        result = server.handle_connection(ClientHello("a.example", ()))
+        assert result.connected
+        assert result.alpn == "h2"
+
+
+class TestEchHandshake:
+    def setup_method(self):
+        self.km = ECHKeyManager("cover.example", seed=b"t")
+        self.wire = self.km.published_wire(0)
+        self.keys = self.km.active_keypairs(0)
+
+    def seal(self, inner="a.example"):
+        sealed = seal_inner_hello(self.wire, inner)
+        assert sealed is not None
+        return sealed
+
+    def test_ech_accepted(self):
+        server = make_server(
+            certificate=Certificate(("a.example", "cover.example")),
+            ech_keypairs=self.keys,
+        )
+        payload, config_id, public_name = self.seal()
+        result = server.handle_connection(
+            ClientHello(public_name, ("h2",), ech_payload=payload, ech_config_id=config_id)
+        )
+        assert result.connected
+        assert result.ech_accepted
+        assert result.sni_used == "a.example"
+
+    def test_ech_wrong_key_rejected_with_retry(self):
+        stale_km = ECHKeyManager("cover.example", seed=b"other")
+        payload, config_id, public_name = seal_inner_hello(stale_km.published_wire(0), "a.example")
+        server = make_server(
+            certificate=Certificate(("a.example", "cover.example")),
+            ech_keypairs=self.keys,
+            ech_retry_wire=self.wire,
+        )
+        result = server.handle_connection(
+            ClientHello(public_name, ("h2",), ech_payload=payload, ech_config_id=config_id)
+        )
+        assert not result.ech_accepted
+        assert result.retry_configs == self.wire
+
+    def test_retry_disabled(self):
+        stale_km = ECHKeyManager("cover.example", seed=b"other")
+        payload, _cid, public_name = seal_inner_hello(stale_km.published_wire(0), "a.example")
+        server = make_server(
+            certificate=Certificate(("a.example", "cover.example")),
+            ech_keypairs=self.keys,
+            ech_retry_wire=self.wire,
+            retry_enabled=False,
+        )
+        result = server.handle_connection(
+            ClientHello(public_name, ("h2",), ech_payload=payload)
+        )
+        assert result.retry_configs is None
+
+    def test_server_without_keys_ignores_ech(self):
+        server = make_server(certificate=Certificate(("a.example", "cover.example")))
+        payload, _cid, public_name = self.seal()
+        result = server.handle_connection(
+            ClientHello(public_name, ("h2",), ech_payload=payload)
+        )
+        assert result.ech_offered
+        assert not result.ech_accepted
+        assert result.connected  # outer handshake as cover.example
+
+    def test_split_mode_forwarding(self):
+        backend = make_server(name="backend", certificate=Certificate(("a.example",)))
+        facing = make_server(
+            name="facing",
+            certificate=Certificate(("cover.example",)),
+            ech_keypairs=self.keys,
+            backends={"a.example": backend},
+        )
+        payload, config_id, public_name = self.seal()
+        result = facing.handle_connection(
+            ClientHello(public_name, ("h2",), ech_payload=payload, ech_config_id=config_id)
+        )
+        assert result.connected
+        assert result.ech_accepted
+        assert result.served_by == "backend"
+
+    def test_malformed_config_list(self):
+        assert seal_inner_hello(b"\x00\x04junk", "a.example") is None
+
+    def test_handshake_log(self):
+        server = make_server()
+        server.handle_connection(ClientHello("a.example", ("h2",)))
+        assert len(server.handshake_log) == 1

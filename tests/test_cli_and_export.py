@@ -1,0 +1,83 @@
+"""Tests for the CLI tools and the CSV/JSON export layer."""
+
+import datetime
+import json
+import os
+
+import pytest
+
+from repro.cli import dig_main, tables_main
+from repro.reporting.export import (
+    export_figure_data,
+    multi_series_to_csv,
+    series_to_csv,
+    table_to_csv,
+    to_json,
+)
+
+
+class TestExportPrimitives:
+    def test_series_csv(self):
+        text = series_to_csv([(datetime.date(2023, 5, 8), 20.5)], "pct")
+        lines = text.strip().splitlines()
+        assert lines[0] == "date,pct"
+        assert lines[1].startswith("2023-05-08,20.5")
+
+    def test_multi_series_joins_on_date(self):
+        a = [(datetime.date(2023, 5, 8), 1.0), (datetime.date(2023, 5, 9), 2.0)]
+        b = [(datetime.date(2023, 5, 9), 3.0)]
+        text = multi_series_to_csv({"a": a, "b": b})
+        lines = text.strip().splitlines()
+        assert lines[0] == "date,a,b"
+        assert lines[1].endswith(",")  # b missing on day 1
+        assert "3.0" in lines[2]
+
+    def test_table_csv(self):
+        text = table_to_csv(["x", "y"], [[1, 2]])
+        assert text.strip().splitlines() == ["x,y", "1,2"]
+
+    def test_json_handles_dates_and_bytes(self):
+        payload = {"day": datetime.date(2024, 1, 2), "digest": b"\x01\x02", "s": {"b", "a"}}
+        decoded = json.loads(to_json(payload))
+        assert decoded["day"] == "2024-01-02"
+        assert decoded["digest"] == "0102"
+        assert decoded["s"] == ["a", "b"]
+
+
+class TestExportFigureData:
+    def test_writes_all_files(self, dataset, tmp_path):
+        written = export_figure_data(dataset, str(tmp_path))
+        names = {os.path.basename(path) for path in written}
+        assert {"fig2_adoption.csv", "fig11_hints.csv", "fig13_ech_share.csv",
+                "fig5_signed.csv", "fig4_rotation.json"} <= names
+        adoption_csv = (tmp_path / "fig2_adoption.csv").read_text()
+        assert adoption_csv.startswith("date,")
+        assert len(adoption_csv.strip().splitlines()) == len(dataset.days()) + 1
+        rotation = json.loads((tmp_path / "fig4_rotation.json").read_text())
+        assert rotation["public_names"] == ["cloudflare-ech.com"]
+
+
+class TestCli:
+    def test_dig_https(self, capsys):
+        rc = dig_main(["err.ee", "HTTPS", "--population", "200", "--date", "2023-09-01"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ANSWER" in out
+        assert "HTTPS" in out
+
+    def test_dig_nonexistent(self, capsys):
+        rc = dig_main([
+            "no-such-domain-xyz.com", "A", "--population", "200", "--date", "2023-09-01",
+        ])
+        assert rc == 1
+
+    def test_dig_bad_type(self):
+        with pytest.raises(SystemExit):
+            dig_main(["err.ee", "BOGUSTYPE", "--population", "200"])
+
+    def test_tables_table7_only(self, capsys):
+        rc = tables_main(["--table", "7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Split Mode" in out
+        assert "Table 6" not in out

@@ -1,0 +1,142 @@
+"""Tests for DNS-over-HTTPS (RFC 8484) and the EDNS0/DO plumbing."""
+
+import base64
+
+import pytest
+
+from repro.dnscore import rdtypes
+from repro.dnscore.message import Message
+from repro.dnscore.names import Name
+from repro.resolver.doh import CONTENT_TYPE, DohClient, DohServer
+
+from tests.test_resolver import build_internet
+
+
+@pytest.fixture()
+def doh():
+    _network, _clock, resolver, _tree = build_internet(sign=True)
+    server = DohServer(resolver)
+    return server, DohClient(server)
+
+
+class TestDohServer:
+    def test_get_round_trip(self, doh):
+        server, client = doh
+        response = client.query("example.com.", rdtypes.HTTPS)
+        assert response.rcode == rdtypes.NOERROR
+        assert response.get_answer("example.com.", rdtypes.HTTPS) is not None
+
+    def test_post_round_trip(self, doh):
+        server, _ = doh
+        client = DohClient(server, method="POST")
+        response = client.query("example.com.", rdtypes.A)
+        assert response.get_answer("example.com.", rdtypes.A) is not None
+
+    def test_msg_id_echoed(self, doh):
+        server, client = doh
+        query = Message.make_query("example.com.", rdtypes.A, 1234)
+        encoded = base64.urlsafe_b64encode(query.to_wire()).decode().rstrip("=")
+        http = server.handle_get(f"/dns-query?dns={encoded}")
+        assert http.status == 200
+        assert Message.from_wire(http.body).msg_id == 1234
+
+    def test_ad_bit_passes_through(self, doh):
+        _server, client = doh
+        response = client.query("example.com.", rdtypes.HTTPS)
+        assert response.authenticated_data
+
+    def test_bad_base64(self, doh):
+        server, _ = doh
+        assert server.handle_get("/dns-query?dns=!!!").status == 400
+
+    def test_missing_param(self, doh):
+        server, _ = doh
+        assert server.handle_get("/dns-query").status == 400
+
+    def test_wrong_content_type(self, doh):
+        server, _ = doh
+        assert server.handle_post("/dns-query", "text/plain", b"x").status == 415
+
+    def test_wrong_path(self, doh):
+        server, _ = doh
+        assert server.handle_post("/other", CONTENT_TYPE, b"x").status == 404
+
+    def test_malformed_dns_body(self, doh):
+        server, _ = doh
+        assert server.handle_post("/dns-query", CONTENT_TYPE, b"\x00").status == 400
+
+    def test_request_counter(self, doh):
+        server, client = doh
+        client.query("example.com.", rdtypes.A)
+        client.query("example.com.", rdtypes.AAAA)
+        assert server.request_count == 2
+
+    def test_servfail_surface(self, doh):
+        _server, client = doh
+        response = client.query("no-such-tld-at-all.test.", rdtypes.A)
+        assert response.rcode in (rdtypes.SERVFAIL, rdtypes.NXDOMAIN)
+
+
+class TestEdns:
+    def test_opt_record_round_trip(self):
+        query = Message.make_query("a.com.", rdtypes.HTTPS, 7, want_dnssec=True)
+        parsed = Message.from_wire(query.to_wire())
+        assert parsed.use_edns
+        assert parsed.dnssec_ok
+        assert parsed.edns_payload_size == 1232
+        assert not parsed.additional  # OPT is not exposed as a normal RRset
+
+    def test_no_edns_by_default(self):
+        query = Message.make_query("a.com.", rdtypes.A, 7)
+        parsed = Message.from_wire(query.to_wire())
+        assert not parsed.use_edns
+        assert not parsed.dnssec_ok
+
+    def test_do_bit_gates_rrsigs(self):
+        _network, _clock, _resolver, tree = build_internet(sign=True)
+        from repro.resolver.authoritative import AuthoritativeServer
+
+        server = AuthoritativeServer("auth")
+        server.tree = tree
+        plain = server.handle_query(Message.make_query("example.com.", rdtypes.HTTPS, 1))
+        assert plain.get_answer("example.com.", rdtypes.RRSIG) is None
+        with_do = server.handle_query(
+            Message.make_query("example.com.", rdtypes.HTTPS, 2, want_dnssec=True)
+        )
+        assert with_do.get_answer("example.com.", rdtypes.RRSIG) is not None
+
+    def test_response_mirrors_edns(self):
+        _network, _clock, _resolver, tree = build_internet(sign=True)
+        from repro.resolver.authoritative import AuthoritativeServer
+
+        server = AuthoritativeServer("auth")
+        server.tree = tree
+        response = server.handle_query(
+            Message.make_query("example.com.", rdtypes.A, 3, want_dnssec=True)
+        )
+        assert response.use_edns and response.dnssec_ok
+
+
+class TestFirefoxDohPath:
+    def test_firefox_uses_doh_client(self):
+        from repro.browser.testbed import Testbed, TEST_DOMAIN
+
+        testbed = Testbed()
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 . alpn=h2")
+        testbed.install_web_server()
+        before = testbed.doh_server.request_count
+        result = testbed.browser("Firefox").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success
+        assert testbed.doh_server.request_count > before
+
+    def test_chrome_does_not_use_doh(self):
+        from repro.browser.testbed import Testbed, TEST_DOMAIN
+
+        testbed = Testbed()
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 . alpn=h2")
+        testbed.install_web_server()
+        before = testbed.doh_server.request_count
+        testbed.browser("Chrome").navigate(f"https://{TEST_DOMAIN}")
+        assert testbed.doh_server.request_count == before

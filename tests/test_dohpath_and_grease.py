@@ -1,0 +1,105 @@
+"""Tests for the RFC 9461 dohpath SvcParam (DoH discovery via _dns SVCB)
+and ECH GREASE behaviour."""
+
+import pytest
+
+from repro.dnscore import Name, rdtypes
+from repro.dnscore.rdata import SVCBRdata, rdata_from_text
+from repro.svcb.params import DohPath, SvcParamError, SvcParams
+
+
+class TestDohPathParam:
+    def test_text_round_trip(self):
+        param = DohPath("/dns-query{?dns}")
+        assert DohPath.from_text_value(param.value_to_text()) == param
+        assert param.to_text() == "dohpath=/dns-query{?dns}"
+
+    def test_wire_round_trip(self):
+        param = DohPath("/q{?dns}")
+        assert DohPath.from_wire_value(param.to_wire_value()) == param
+
+    def test_must_be_relative(self):
+        with pytest.raises(SvcParamError):
+            DohPath("https://dns.google/dns-query{?dns}")
+
+    def test_must_contain_dns_variable(self):
+        with pytest.raises(SvcParamError):
+            DohPath("/dns-query")
+
+    def test_resolved_path(self):
+        assert DohPath("/dns-query{?dns}").resolved_path() == "/dns-query"
+
+    def test_accessor(self):
+        params = SvcParams([DohPath("/dns-query{?dns}")])
+        assert params.dohpath == "/dns-query{?dns}"
+        assert SvcParams().dohpath is None
+
+    def test_dns_svcb_record(self):
+        """RFC 9461: _dns.resolver.example SVCB advertising a DoH path."""
+        rdata = rdata_from_text(
+            rdtypes.SVCB, '1 dns.google. alpn=h2 dohpath=/dns-query{?dns}'
+        )
+        assert isinstance(rdata, SVCBRdata)
+        assert rdata.params.dohpath == "/dns-query{?dns}"
+        # Wire + text round trips through the generic machinery.
+        from repro.dnscore.rdata import rdata_from_wire
+        from repro.dnscore.wire import WireReader
+
+        wire = rdata.wire_bytes()
+        assert rdata_from_wire(rdtypes.SVCB, WireReader(wire), len(wire)) == rdata
+        assert rdata_from_text(rdtypes.SVCB, rdata.to_text()) == rdata
+
+
+class TestEchGrease:
+    def make_testbed(self):
+        from repro.browser.testbed import Testbed
+
+        testbed = Testbed()
+        testbed.clear_endpoints()
+        testbed.simple_service_zone("1 . alpn=h2")  # no ech param
+        testbed.install_web_server()
+        return testbed
+
+    def test_chrome_sends_grease_without_ech_config(self):
+        from repro.browser.testbed import TEST_DOMAIN
+
+        testbed = self.make_testbed()
+        result = testbed.browser("Chrome").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success
+        assert result.ech_grease_sent
+        assert not result.ech_offered
+
+    def test_safari_never_sends_grease(self):
+        from repro.browser.testbed import TEST_DOMAIN
+
+        testbed = self.make_testbed()
+        result = testbed.browser("Safari").navigate(f"https://{TEST_DOMAIN}")
+        assert result.success
+        assert not result.ech_grease_sent
+
+    def test_server_with_keys_ignores_grease(self):
+        """A GREASE extension must not trigger retry_configs."""
+        from repro.browser.tls import Certificate, ClientHello, WebServer
+        from repro.ech.keys import ECHKeyManager
+
+        km = ECHKeyManager("cover.example", seed=b"g")
+        server = WebServer(
+            "web",
+            Certificate(("a.example",)),
+            ech_keypairs=km.active_keypairs(0),
+            ech_retry_wire=km.published_wire(0),
+        )
+        result = server.handle_connection(
+            ClientHello("a.example", ("h2",), ech_is_grease=True)
+        )
+        assert result.connected
+        assert result.retry_configs is None
+        assert not result.ech_accepted
+
+    def test_grease_marked_in_handshake_log(self):
+        from repro.browser.testbed import TEST_DOMAIN, WEB_SERVER_IP
+
+        testbed = self.make_testbed()
+        server = testbed.network.connect_tcp(WEB_SERVER_IP, 443)
+        testbed.browser("Edge").navigate(f"https://{TEST_DOMAIN}")
+        assert any(hello.ech_is_grease for hello in server.handshake_log)

@@ -1,0 +1,126 @@
+"""Unit tests for the §4.2.3 intermittency classifier, driven by
+hand-built datasets so every classification branch is pinned down."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.intermittent import IntermittencyReport, analyze_intermittency
+from repro.scanner.dataset import DailySnapshot, Dataset
+from repro.scanner.records import DomainObservation, HttpsRecordView
+from repro.simnet import timeline
+
+CF_NS = ("alice.ns.cloudflare.com", "bob.ns.cloudflare.com")
+OTHER_NS = ("ns1.generic-host.net", "ns2.generic-host.net")
+MIXED_NS = ("alice.ns.cloudflare.com", "ns1.generic-host.net")
+
+_DAYS = [timeline.NS_IP_WHOIS_SCAN_START + datetime.timedelta(days=7 * i) for i in range(6)]
+
+
+def _record():
+    return HttpsRecordView(1, ".", ("h2", "h3"), None, ("1.2.3.4",), (), False)
+
+
+def _observation(name, ns):
+    return DomainObservation(
+        name, "apex", 0, https_records=(_record(),), ns_names=ns, a_addrs=("1.2.3.4",)
+    )
+
+
+def build_dataset(domain_days):
+    """domain_days: name -> list of per-day specs:
+    ('on', ns) active with that NS set; ('off', ns) inactive with
+    watchlist NS; ('off', None) inactive with NS records missing."""
+    dataset = Dataset(population=100, seed="synthetic", day_step=7)
+    names = tuple(sorted(domain_days))
+    for i, day in enumerate(_DAYS):
+        snapshot = DailySnapshot(day, names)
+        for name, specs in domain_days.items():
+            state, ns = specs[i]
+            if state == "on":
+                snapshot.apex[name] = _observation(name, ns)
+                snapshot.apex_https_count += 1
+            else:
+                snapshot.watchlist_ns[name] = ns if ns is not None else ()
+        dataset.add_snapshot(snapshot)
+    return dataset
+
+
+def classify(specs) -> IntermittencyReport:
+    return analyze_intermittency(build_dataset({"test.com": specs}))
+
+
+ON_CF = ("on", CF_NS)
+
+
+class TestClassifierBranches:
+    def test_always_active_not_intermittent(self):
+        report = classify([ON_CF] * 6)
+        assert report.intermittent_domains == 0
+
+    def test_proxy_toggle_same_cf_ns(self):
+        report = classify([ON_CF, ("off", CF_NS), ON_CF, ("off", CF_NS), ON_CF, ON_CF])
+        assert report.intermittent_domains == 1
+        assert report.same_ns_cloudflare_only == 1
+
+    def test_non_cf_same_ns(self):
+        on = ("on", OTHER_NS)
+        report = classify([on, ("off", OTHER_NS), on, on, on, on])
+        assert report.same_ns_other == 1
+        assert report.same_ns_cloudflare_only == 0
+
+    def test_mixed_set_constant(self):
+        on = ("on", MIXED_NS)
+        report = classify([on, ("off", MIXED_NS), on, on, on, on])
+        assert report.same_ns_other == 1
+
+    def test_ns_change_and_never_returns(self):
+        report = classify([ON_CF, ON_CF, ("off", OTHER_NS), ("off", OTHER_NS),
+                           ("off", OTHER_NS), ("off", OTHER_NS)])
+        assert report.lost_on_ns_change == 1
+        assert report.same_ns_domains == 0
+
+    def test_mixed_ns_during_deactivation_then_back(self):
+        report = classify([ON_CF, ("off", MIXED_NS), ON_CF, ON_CF, ON_CF, ON_CF])
+        assert report.mixed_ns_on_deactivation == 1
+
+    def test_no_ns_when_deactivated(self):
+        report = classify([ON_CF, ("off", None), ON_CF, ("off", None), ON_CF, ON_CF])
+        assert report.missing_ns_on_deactivation == 1
+
+    def test_never_active_ignored(self):
+        report = classify([("off", CF_NS)] * 6)
+        assert report.intermittent_domains == 0
+
+    def test_multiple_domains_counted_independently(self):
+        dataset = build_dataset({
+            "toggle.com": [ON_CF, ("off", CF_NS), ON_CF, ON_CF, ON_CF, ON_CF],
+            "mover.com": [ON_CF, ON_CF, ON_CF, ("off", OTHER_NS), ("off", OTHER_NS), ("off", OTHER_NS)],
+            "steady.com": [ON_CF] * 6,
+        })
+        report = analyze_intermittency(dataset)
+        assert report.intermittent_domains == 2
+        assert report.same_ns_cloudflare_only == 1
+        assert report.lost_on_ns_change == 1
+
+    def test_churny_domain_excluded(self):
+        """Domains absent from the daily list on some window day cannot be
+        classified (absence masquerades as deactivation)."""
+        dataset = Dataset(population=100, seed="synthetic", day_step=7)
+        for i, day in enumerate(_DAYS):
+            names = ("flaky.com",) if i % 2 == 0 else ()
+            snapshot = DailySnapshot(day, names)
+            if names:
+                snapshot.apex["flaky.com"] = _observation("flaky.com", CF_NS)
+                snapshot.apex_https_count = 1
+            dataset.add_snapshot(snapshot)
+        report = analyze_intermittency(dataset)
+        assert report.intermittent_domains == 0
+
+    def test_share_property(self):
+        report = IntermittencyReport(10, 8, 6, 2, 0, 0, 0)
+        assert report.same_ns_cloudflare_share == pytest.approx(0.75)
+
+    def test_share_empty_safe(self):
+        report = IntermittencyReport(0, 0, 0, 0, 0, 0, 0)
+        assert report.same_ns_cloudflare_share == 0.0

@@ -1,0 +1,145 @@
+"""Tests for the HTTPS-record linter and autopilot (§7 automation)."""
+
+import pytest
+
+from repro.dnscore import Name, rdtypes
+from repro.ech.keys import ECHKeyManager
+from repro.manage import AutoPilot, Severity, lint_zone
+from repro.zones.zone import Zone
+
+import base64
+
+
+def make_zone(https_rdata: str, a_ip="192.0.2.1", aaaa_ip="2001:db8::1", sign=False):
+    zone = Zone(Name.from_text("shop.example."))
+    zone.ensure_soa()
+    zone.add_record("shop.example.", "A", a_ip)
+    zone.add_record("shop.example.", "AAAA", aaaa_ip)
+    zone.add_record("shop.example.", "HTTPS", https_rdata)
+    if sign:
+        zone.sign(1000)
+    return zone
+
+
+def codes(findings):
+    return {finding.code for finding in findings}
+
+
+class TestLinter:
+    def test_clean_record_no_findings(self):
+        zone = make_zone("1 . alpn=h2 ipv4hint=192.0.2.1 ipv6hint=2001:db8::1")
+        assert lint_zone(zone) == []
+
+    def test_hint_mismatch_detected(self):
+        zone = make_zone("1 . alpn=h2 ipv4hint=203.0.113.9")
+        findings = lint_zone(zone)
+        assert "ipv4hint-mismatch" in codes(findings)
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_ipv6_hint_mismatch(self):
+        zone = make_zone("1 . alpn=h2 ipv6hint=2001:db8::dead")
+        assert "ipv6hint-mismatch" in codes(lint_zone(zone))
+
+    def test_alias_self_target(self):
+        zone = Zone(Name.from_text("shop.example."))
+        zone.ensure_soa()
+        zone.add_record("shop.example.", "HTTPS", "0 .")
+        assert "alias-self-target" in codes(lint_zone(zone))
+
+    def test_alias_dangling_target(self):
+        zone = Zone(Name.from_text("shop.example."))
+        zone.ensure_soa()
+        zone.add_record("shop.example.", "HTTPS", "0 pool.shop.example.")
+        assert "alias-dangling-target" in codes(lint_zone(zone))
+
+    def test_ip_literal_target(self):
+        zone = make_zone("1 1\\.2\\.3\\.4. alpn=h2")
+        assert "target-is-ip-literal" in codes(lint_zone(zone))
+
+    def test_empty_service_mode(self):
+        zone = make_zone("1 .")
+        assert "service-mode-empty" in codes(lint_zone(zone))
+
+    def test_malformed_ech(self):
+        bad = base64.b64encode(b"\x00\x08garbage!").decode()
+        zone = make_zone(f"1 . alpn=h2 ech={bad}")
+        assert "ech-malformed" in codes(lint_zone(zone))
+
+    def test_stale_ech_key(self):
+        km = ECHKeyManager("cover.example", seed=b"lint", rotation_hours=1.0)
+        stale = base64.b64encode(km.published_wire(0)).decode()
+        zone = make_zone(f"1 . alpn=h2 ech={stale}")
+        findings = lint_zone(zone, ech_manager=km, current_hour=10)
+        assert "ech-stale-key" in codes(findings)
+        # Fresh key passes.
+        fresh = base64.b64encode(km.published_wire(10)).decode()
+        zone = make_zone(f"1 . alpn=h2 ech={fresh}")
+        assert "ech-stale-key" not in codes(lint_zone(zone, ech_manager=km, current_hour=10))
+
+
+class TestAutoPilot:
+    def test_resyncs_hints(self):
+        zone = make_zone("1 . alpn=h2 ipv4hint=203.0.113.9 ipv6hint=2001:db8::dead")
+        pilot = AutoPilot(zone)
+        actions = pilot.run()
+        assert {a.code for a in actions} == {"resync-ipv4hint", "resync-ipv6hint"}
+        assert pilot.remaining_findings() == []
+        record = zone.get_rrset(zone.apex, rdtypes.HTTPS)[0]
+        assert record.params.ipv4hint == ("192.0.2.1",)
+        assert record.params.ipv6hint == ("2001:db8::1",)
+
+    def test_renews_stale_ech(self):
+        km = ECHKeyManager("cover.example", seed=b"pilot", rotation_hours=1.0)
+        stale = base64.b64encode(km.published_wire(0)).decode()
+        zone = make_zone(f"1 . alpn=h2 ipv4hint=192.0.2.1 ech={stale}")
+        pilot = AutoPilot(zone, ech_manager=km)
+        actions = pilot.run(current_hour=10)
+        assert any(a.code == "renew-ech" for a in actions)
+        record = zone.get_rrset(zone.apex, rdtypes.HTTPS)[0]
+        assert record.params.ech == km.published_wire(10)
+        assert pilot.remaining_findings(current_hour=10) == []
+
+    def test_renews_malformed_ech(self):
+        km = ECHKeyManager("cover.example", seed=b"pilot")
+        bad = base64.b64encode(b"\x00\x04junk").decode()
+        zone = make_zone(f"1 . alpn=h2 ipv4hint=192.0.2.1 ech={bad}")
+        pilot = AutoPilot(zone, ech_manager=km)
+        pilot.run(current_hour=3)
+        record = zone.get_rrset(zone.apex, rdtypes.HTTPS)[0]
+        assert record.params.ech == km.published_wire(3)
+
+    def test_noop_when_clean(self):
+        zone = make_zone("1 . alpn=h2 ipv4hint=192.0.2.1 ipv6hint=2001:db8::1")
+        assert AutoPilot(zone).run() == []
+
+    def test_resigns_signed_zone(self):
+        zone = make_zone("1 . alpn=h2 ipv4hint=203.0.113.9", sign=True)
+        pilot = AutoPilot(zone)
+        actions = pilot.run(resign_at=2000)
+        assert any(a.code == "zone-resigned" for a in actions)
+        sigs = zone.get_rrsigs(zone.apex, rdtypes.HTTPS)
+        assert sigs and sigs[0].inception == 2000
+
+    def test_alias_records_left_alone(self):
+        zone = Zone(Name.from_text("shop.example."))
+        zone.ensure_soa()
+        zone.add_record("shop.example.", "HTTPS", "0 .")
+        pilot = AutoPilot(zone)
+        assert pilot.run() == []
+        # But the linter still flags it for a human.
+        assert pilot.remaining_findings()
+
+    def test_simulated_rotation_schedule(self):
+        """Running the autopilot every hour keeps ECH permanently fresh —
+        the §4.4.2 inconsistency window disappears."""
+        km = ECHKeyManager("cover.example", seed=b"sched", rotation_hours=1.26)
+        first = base64.b64encode(km.published_wire(0)).decode()
+        zone = make_zone(f"1 . alpn=h2 ipv4hint=192.0.2.1 ech={first}")
+        pilot = AutoPilot(zone, ech_manager=km)
+        for hour in range(0, 24):
+            pilot.run(current_hour=hour)
+            assert pilot.remaining_findings(current_hour=hour) == []
+        renewals = [a for a in pilot.log if a.code == "renew-ech"]
+        # With retain_generations=1 a renewal is needed roughly every
+        # other generation; at minimum several per day.
+        assert len(renewals) >= 4

@@ -1,0 +1,152 @@
+"""Unit tests for domain-name handling."""
+
+import pytest
+
+from repro.dnscore.names import (
+    BadEscape,
+    EmptyLabel,
+    LabelTooLong,
+    Name,
+    NameTooLong,
+    apex_of,
+    www_of,
+)
+
+
+class TestParsing:
+    def test_simple_name(self):
+        name = Name.from_text("www.example.com")
+        assert name.labels == (b"www", b"example", b"com", b"")
+
+    def test_trailing_dot_optional(self):
+        assert Name.from_text("a.com") == Name.from_text("a.com.")
+
+    def test_root(self):
+        assert Name.from_text(".").labels == (b"",)
+        assert Name.from_text("").labels == (b"",)
+        assert Name.root() == Name.from_text(".")
+
+    def test_case_preserved_in_text(self):
+        assert Name.from_text("ExAmple.COM").to_text() == "ExAmple.COM."
+
+    def test_case_insensitive_equality(self):
+        assert Name.from_text("EXAMPLE.com") == Name.from_text("example.COM")
+
+    def test_case_insensitive_hash(self):
+        assert hash(Name.from_text("A.com")) == hash(Name.from_text("a.COM"))
+
+    def test_escaped_dot(self):
+        name = Name.from_text("a\\.b.com")
+        assert name.labels[0] == b"a.b"
+
+    def test_decimal_escape(self):
+        name = Name.from_text("a\\065b.com")
+        assert name.labels[0] == b"aAb"
+
+    def test_decimal_escape_out_of_range(self):
+        with pytest.raises(BadEscape):
+            Name.from_text("a\\999.com")
+
+    def test_trailing_backslash_rejected(self):
+        with pytest.raises(BadEscape):
+            Name.from_text("abc\\")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(EmptyLabel):
+            Name.from_text("a..com")
+
+    def test_label_too_long(self):
+        with pytest.raises(LabelTooLong):
+            Name.from_text("a" * 64 + ".com")
+
+    def test_name_too_long(self):
+        label = "a" * 60
+        with pytest.raises(NameTooLong):
+            Name.from_text(".".join([label] * 5))
+
+    def test_63_octet_label_allowed(self):
+        name = Name.from_text("a" * 63 + ".com")
+        assert len(name.labels[0]) == 63
+
+
+class TestTextRendering:
+    def test_round_trip(self):
+        for text in ("example.com.", "a.b.c.d.e.", "xn--espaa-rta.es."):
+            assert Name.from_text(text).to_text() == text
+
+    def test_escaping_special_bytes(self):
+        name = Name((b"a.b", b"com", b""))
+        assert name.to_text() == "a\\.b.com."
+        assert Name.from_text(name.to_text()) == name
+
+    def test_non_printable_escaped(self):
+        name = Name((b"\x07bell", b"com", b""))
+        assert "\\007" in name.to_text()
+        assert Name.from_text(name.to_text()) == name
+
+    def test_omit_final_dot(self):
+        assert Name.from_text("a.com.").to_text(omit_final_dot=True) == "a.com"
+
+
+class TestStructure:
+    def test_parent(self):
+        assert Name.from_text("www.a.com.").parent() == Name.from_text("a.com.")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(Exception):
+            Name.root().parent()
+
+    def test_is_subdomain_of_self(self):
+        name = Name.from_text("a.com.")
+        assert name.is_subdomain_of(name)
+
+    def test_is_subdomain_of_parent(self):
+        assert Name.from_text("www.a.com.").is_subdomain_of(Name.from_text("a.com."))
+
+    def test_is_subdomain_of_root(self):
+        assert Name.from_text("a.com.").is_subdomain_of(Name.root())
+
+    def test_not_subdomain_of_sibling(self):
+        assert not Name.from_text("a.com.").is_subdomain_of(Name.from_text("b.com."))
+
+    def test_not_subdomain_by_suffix_string(self):
+        # "xa.com" must not count as a subdomain of "a.com".
+        assert not Name.from_text("xa.com.").is_subdomain_of(Name.from_text("a.com."))
+
+    def test_prepend(self):
+        assert Name.from_text("a.com.").prepend("www") == Name.from_text("www.a.com.")
+
+    def test_split_depth(self):
+        assert Name.from_text("a.b.com.").split_depth() == 3
+        assert Name.root().split_depth() == 0
+
+    def test_canonical_ordering(self):
+        # RFC 4034 6.1 ordering is right-to-left by label.
+        a = Name.from_text("a.example.")
+        b = Name.from_text("z.a.example.")
+        c = Name.from_text("z.example.")
+        assert a < b < c
+
+
+class TestWire:
+    def test_to_wire(self):
+        assert Name.from_text("a.bc.").to_wire() == b"\x01a\x02bc\x00"
+
+    def test_root_wire(self):
+        assert Name.root().to_wire() == b"\x00"
+
+
+class TestWwwHelpers:
+    def test_www_of(self):
+        assert www_of(Name.from_text("a.com.")) == Name.from_text("www.a.com.")
+
+    def test_www_of_idempotent(self):
+        www = Name.from_text("www.a.com.")
+        assert www_of(www) == www
+
+    def test_apex_of(self):
+        assert apex_of(Name.from_text("www.a.com.")) == Name.from_text("a.com.")
+
+    def test_apex_of_plain(self):
+        name = Name.from_text("a.com.")
+        assert apex_of(name) == name

@@ -1,0 +1,203 @@
+"""Unit tests for rdata types (wire + presentation codecs)."""
+
+import pytest
+
+from repro.dnscore import rdtypes
+from repro.dnscore.names import Name
+from repro.dnscore.rdata import (
+    AAAARdata,
+    ARdata,
+    CNAMERdata,
+    DNSKEYRdata,
+    DSRdata,
+    GenericRdata,
+    HTTPSRdata,
+    NSRdata,
+    RdataError,
+    RRSIGRdata,
+    SOARdata,
+    SVCBRdata,
+    TXTRdata,
+    rdata_from_text,
+    rdata_from_wire,
+)
+from repro.dnscore.wire import WireReader, WireWriter
+from repro.svcb.params import Alpn, SvcParams
+
+
+def round_trip(rdata):
+    wire = rdata.wire_bytes()
+    parsed = rdata_from_wire(rdata.rdtype, WireReader(wire), len(wire))
+    assert parsed == rdata
+    reparsed = rdata_from_text(rdata.rdtype, rdata.to_text())
+    assert reparsed == rdata
+    return parsed
+
+
+class TestAddressRecords:
+    def test_a_round_trip(self):
+        round_trip(ARdata("192.0.2.1"))
+
+    def test_a_wire_is_4_bytes(self):
+        assert ARdata("1.2.3.4").wire_bytes() == b"\x01\x02\x03\x04"
+
+    def test_a_bad_length(self):
+        with pytest.raises(RdataError):
+            rdata_from_wire(rdtypes.A, WireReader(b"\x01\x02"), 2)
+
+    def test_aaaa_round_trip(self):
+        round_trip(AAAARdata("2606:4700::1"))
+
+    def test_aaaa_normalization(self):
+        assert AAAARdata("2606:4700:0::1").address == "2606:4700::1"
+
+
+class TestNameRecords:
+    def test_cname_round_trip(self):
+        round_trip(CNAMERdata(Name.from_text("target.example.")))
+
+    def test_ns_round_trip(self):
+        round_trip(NSRdata(Name.from_text("ns1.example.")))
+
+    def test_soa_round_trip(self):
+        round_trip(
+            SOARdata(
+                Name.from_text("ns1.example."),
+                Name.from_text("hostmaster.example."),
+                2024010101,
+            )
+        )
+
+    def test_soa_field_count(self):
+        with pytest.raises(RdataError):
+            SOARdata.from_text("ns1.example. hostmaster.example. 1 2 3")
+
+
+class TestTxt:
+    def test_round_trip(self):
+        round_trip(TXTRdata((b"hello world",)))
+
+    def test_multiple_strings(self):
+        rdata = TXTRdata((b"a", b"b"))
+        wire = rdata.wire_bytes()
+        assert wire == b"\x01a\x01b"
+
+    def test_string_too_long(self):
+        with pytest.raises(RdataError):
+            TXTRdata((b"x" * 256,))
+
+
+class TestDnssecRecords:
+    def test_dnskey_round_trip(self):
+        round_trip(DNSKEYRdata(257, 3, 253, b"\x01" * 32))
+
+    def test_dnskey_key_tag_stable(self):
+        key = DNSKEYRdata(256, 3, 253, b"\x02" * 32)
+        assert key.key_tag() == key.key_tag()
+
+    def test_dnskey_ksk_flag(self):
+        assert DNSKEYRdata(257, 3, 253, b"k").is_ksk()
+        assert not DNSKEYRdata(256, 3, 253, b"k").is_ksk()
+
+    def test_ds_round_trip(self):
+        round_trip(DSRdata(12345, 253, 2, bytes(range(32))))
+
+    def test_rrsig_round_trip(self):
+        round_trip(
+            RRSIGRdata(
+                type_covered=rdtypes.HTTPS,
+                algorithm=253,
+                labels=2,
+                original_ttl=300,
+                expiration=2_000_000,
+                inception=1_000_000,
+                key_tag=4242,
+                signer=Name.from_text("example.com."),
+                signature=b"\xaa" * 32,
+            )
+        )
+
+    def test_rrsig_signer_uncompressed(self):
+        rrsig = RRSIGRdata(1, 253, 2, 300, 2, 1, 7, Name.from_text("example.com."), b"s")
+        writer = WireWriter()
+        writer.write_name(Name.from_text("example.com."))
+        before = len(writer)
+        rrsig.to_wire(writer)
+        # If the signer name were compressed, the rdata would shrink by >10.
+        assert len(writer) - before >= 18 + len(Name.from_text("example.com.").to_wire())
+
+
+class TestHttpsRecord:
+    def test_service_mode_round_trip(self):
+        params = SvcParams([Alpn(["h2", "h3"])])
+        round_trip(HTTPSRdata(1, Name.root(), params))
+
+    def test_alias_mode_round_trip(self):
+        round_trip(HTTPSRdata(0, Name.from_text("cdn.example.")))
+
+    def test_alias_mode_with_params_rejected(self):
+        with pytest.raises(RdataError):
+            HTTPSRdata(0, Name.root(), SvcParams([Alpn(["h2"])]))
+
+    def test_mode_properties(self):
+        assert HTTPSRdata(0, Name.root()).is_alias_mode
+        assert not HTTPSRdata(0, Name.root()).is_service_mode
+        assert HTTPSRdata(1, Name.root()).is_service_mode
+        assert not HTTPSRdata(1, Name.root()).is_alias_mode
+
+    def test_effective_target_dot(self):
+        owner = Name.from_text("a.com.")
+        record = HTTPSRdata(1, Name.root())
+        assert record.effective_target(owner) == owner
+
+    def test_effective_target_explicit(self):
+        target = Name.from_text("pool.a.com.")
+        record = HTTPSRdata(1, target)
+        assert record.effective_target(Name.from_text("a.com.")) == target
+
+    def test_from_text_cloudflare_default(self):
+        rdata = rdata_from_text(
+            rdtypes.HTTPS, "1 . alpn=h2,h3 ipv4hint=104.16.1.1 ipv6hint=2606:4700::1"
+        )
+        assert rdata.priority == 1
+        assert rdata.params.alpn == ("h2", "h3")
+        assert rdata.params.ipv4hint == ("104.16.1.1",)
+
+    def test_text_render(self):
+        rdata = rdata_from_text(rdtypes.HTTPS, "1 . alpn=h2")
+        assert rdata.to_text() == "1 . alpn=h2"
+
+    def test_priority_range(self):
+        with pytest.raises(RdataError):
+            HTTPSRdata(70000, Name.root())
+
+    def test_svcb_same_format(self):
+        rdata = rdata_from_text(rdtypes.SVCB, "1 . port=853")
+        assert isinstance(rdata, SVCBRdata)
+        assert rdata.params.port == 853
+
+    def test_target_name_never_compressed(self):
+        rdata = HTTPSRdata(1, Name.from_text("example.com."))
+        writer = WireWriter()
+        writer.write_name(Name.from_text("example.com."))
+        before = len(writer)
+        rdata.to_wire(writer)
+        assert len(writer) - before == 2 + len(Name.from_text("example.com.").to_wire())
+
+    def test_wire_length_mismatch_detected(self):
+        rdata = HTTPSRdata(1, Name.root(), SvcParams([Alpn(["h2"])]))
+        wire = rdata.wire_bytes()
+        with pytest.raises((RdataError, Exception)):
+            rdata_from_wire(rdtypes.HTTPS, WireReader(wire + b"\x00"), len(wire) + 1)
+
+
+class TestGenericRdata:
+    def test_unknown_type_round_trips(self):
+        reader = WireReader(b"\x01\x02\x03")
+        rdata = rdata_from_wire(999, reader, 3)
+        assert isinstance(rdata, GenericRdata)
+        assert rdata.data == b"\x01\x02\x03"
+
+    def test_rfc3597_text(self):
+        rdata = GenericRdata(999, b"\x01\x02")
+        assert rdata.to_text() == "\\# 2 0102"

@@ -1,0 +1,62 @@
+"""Tests for output rendering."""
+
+import datetime
+
+from repro.reporting import (
+    render_comparison,
+    render_histogram,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], ["x", "y"]])
+        assert "T" in text
+        assert "| a" in text
+        assert "2.50" in text
+
+    def test_note(self):
+        text = render_table("T", ["a"], [[1]], note="scaled 1/50")
+        assert "scaled 1/50" in text
+
+    def test_column_alignment(self):
+        text = render_table("T", ["col"], [["longvalue"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:] if line.startswith(("|", "+"))}
+        assert len(widths) == 1
+
+
+class TestRenderSeries:
+    def test_bars_scale(self):
+        points = [
+            (datetime.date(2023, 5, 8), 10.0),
+            (datetime.date(2023, 5, 9), 20.0),
+        ]
+        text = render_series("S", points, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") < lines[2].count("#")
+
+    def test_empty(self):
+        assert "no data" in render_series("S", [])
+
+    def test_flat_series(self):
+        points = [(datetime.date(2023, 5, 8), 5.0), (datetime.date(2023, 5, 9), 5.0)]
+        text = render_series("S", points)
+        assert "5.00" in text
+
+
+class TestRenderComparison:
+    def test_columns(self):
+        text = render_comparison("C", [("adoption", "20-27%", 23.5)])
+        assert "paper" in text and "measured" in text and "23.50" in text
+
+
+class TestRenderHistogram:
+    def test_bars(self):
+        text = render_histogram("H", [("1h", 10), ("2h", 5)])
+        assert text.splitlines()[1].count("#") > text.splitlines()[2].count("#")
+
+    def test_empty(self):
+        assert "empty" in render_histogram("H", [])

@@ -1,0 +1,306 @@
+"""Tests for the simulated Internet: profiles, cohorts, per-day state."""
+
+import datetime
+
+import pytest
+
+from repro.dnscore import rdtypes
+from repro.dnscore.names import Name
+from repro.simnet import SimConfig, timeline
+from repro.simnet.cohorts import (
+    ECH_TEST_DOMAINS,
+    INTERMIT_MIXED_PROVIDERS,
+    INTERMIT_NONE,
+    INTERMIT_PROXY_TOGGLE,
+    SPECIAL_DOMAINS,
+    make_profile,
+)
+from repro.simnet.domains import (
+    build_https_rdatas,
+    build_zone,
+    current_provider_keys,
+    ech_enabled,
+    hint_mismatch_active,
+    https_configured,
+    is_listed,
+    serving_addresses,
+)
+from repro.simnet.providers import CLOUDFLARE, PROVIDERS
+
+CFG = SimConfig(population=2000)
+DAY1 = timeline.STUDY_START
+MID = datetime.date(2023, 9, 15)
+
+
+def profiles(n=2000):
+    return [make_profile(CFG, i) for i in range(n)]
+
+
+class TestTimeline:
+    def test_day_index_round_trip(self):
+        for offset in (0, 10, 100, 300):
+            date = timeline.date_of(offset)
+            assert timeline.day_index(date) == offset
+
+    def test_epoch_monotonic(self):
+        assert timeline.epoch_seconds(DAY1, 1) > timeline.epoch_seconds(DAY1)
+        assert timeline.epoch_seconds(MID) > timeline.epoch_seconds(DAY1, 23)
+
+    def test_phases(self):
+        assert timeline.phase_of(datetime.date(2023, 7, 31)) == 1
+        assert timeline.phase_of(datetime.date(2023, 8, 1)) == 2
+
+    def test_study_days_step(self):
+        days = timeline.study_days(7)
+        assert days[0] == timeline.STUDY_START
+        assert (days[1] - days[0]).days == 7
+        assert days[-1] <= timeline.STUDY_END
+
+
+class TestProfiles:
+    def test_deterministic(self):
+        assert make_profile(CFG, 42) == make_profile(CFG, 42)
+
+    def test_unique_names(self):
+        names = {p.name for p in profiles(500)}
+        assert len(names) == 500
+
+    def test_special_domains_planted(self):
+        for i, (name, _behaviour) in enumerate(SPECIAL_DOMAINS):
+            assert make_profile(CFG, i).name == name
+
+    def test_adoption_fraction_plausible(self):
+        population = profiles()
+        adopters = sum(p.adopter for p in population)
+        assert 0.18 <= adopters / len(population) <= 0.40
+
+    def test_cloudflare_dominates_adopters(self):
+        population = [p for p in profiles() if p.adopter]
+        cloudflare = sum(p.is_cloudflare for p in population)
+        assert cloudflare / len(population) > 0.90
+
+    def test_signed_fraction_small(self):
+        population = [p for p in profiles() if p.adopter]
+        signed = sum(p.dnssec_signed for p in population)
+        assert 0.02 <= signed / len(population) <= 0.15
+
+    def test_stable_domains_more_popular(self):
+        population = profiles()
+        stable = [p.base_rank for p in population if p.is_stable]
+        churny = [p.base_rank for p in population if not p.is_stable]
+        assert sum(stable) / len(stable) < sum(churny) / len(churny)
+
+    def test_cf_ns_specials_persistent_mismatch(self):
+        profile = next(p for p in profiles(20) if p.name == "cf-ns.com")
+        assert profile.provider_key == "cfns"
+        assert profile.hint_behaviour == "persistent"
+
+    def test_ech_test_domains_cloudflare(self):
+        population = profiles(len(SPECIAL_DOMAINS))
+        for name in ECH_TEST_DOMAINS:
+            profile = next(p for p in population if p.name == name)
+            assert profile.provider_key == "cloudflare"
+            assert profile.free_plan
+
+
+class TestTrancoPresence:
+    def test_stable_always_listed_before_change(self):
+        population = profiles(300)
+        for profile in population:
+            if profile.is_stable:
+                assert is_listed(profile, CFG, DAY1)
+
+    def test_source_change_exits(self):
+        population = [p for p in profiles() if p.exits_at_source_change]
+        assert population, "some stable domains must exit at the source change"
+        for profile in population[:20]:
+            assert is_listed(profile, CFG, datetime.date(2023, 7, 31))
+            assert not is_listed(profile, CFG, datetime.date(2023, 8, 1))
+
+    def test_entrants_only_after_change(self):
+        population = [p for p in profiles() if p.enters_at_source_change]
+        assert population
+        for profile in population[:20]:
+            assert not is_listed(profile, CFG, datetime.date(2023, 7, 31))
+
+
+class TestHttpsState:
+    def test_nonadopter_never_configured(self):
+        profile = next(p for p in profiles() if not p.adopter)
+        assert not https_configured(profile, CFG, DAY1)
+        assert not https_configured(profile, CFG, timeline.STUDY_END)
+
+    def test_proxy_toggle_intermittent(self):
+        togglers = [p for p in profiles() if p.intermittency == INTERMIT_PROXY_TOGGLE]
+        assert togglers, "toggle cohort must exist at population 2000"
+        profile = togglers[0]
+        states = {
+            https_configured(profile, CFG, timeline.date_of(d)) for d in range(0, 250, 3)
+        }
+        assert states == {True, False}
+
+    def test_mixed_provider_has_secondary(self):
+        mixed = [p for p in profiles() if p.intermittency == INTERMIT_MIXED_PROVIDERS]
+        assert mixed
+        keys = current_provider_keys(mixed[0], CFG, MID)
+        assert len(keys) == 2
+        assert not PROVIDERS[keys[1]].supports_https
+
+    def test_ns_change_loses_https(self):
+        movers = [p for p in profiles() if p.ns_change_day is not None]
+        if not movers:
+            pytest.skip("no ns-change domain at this population")
+        profile = movers[0]
+        before = timeline.date_of(max(0, profile.ns_change_day - 1))
+        after = timeline.date_of(profile.ns_change_day)
+        assert current_provider_keys(profile, CFG, before) == [profile.provider_key]
+        new_keys = current_provider_keys(profile, CFG, after)
+        assert new_keys != [profile.provider_key]
+        assert not https_configured(profile, CFG, after)
+
+
+class TestEchState:
+    def cf_default_profile(self):
+        return next(
+            p for p in profiles()
+            if p.is_cloudflare and p.free_plan and not p.custom_config
+            and p.intermittency == INTERMIT_NONE and p.adopter
+            and p.name not in ECH_TEST_DOMAINS
+        )
+
+    def test_ech_on_before_disable(self):
+        profile = self.cf_default_profile()
+        assert ech_enabled(profile, CFG, datetime.date(2023, 9, 1))
+
+    def test_ech_off_after_disable(self):
+        profile = self.cf_default_profile()
+        assert not ech_enabled(profile, CFG, datetime.date(2023, 10, 5))
+
+    def test_test_domains_keep_ech(self):
+        population = profiles(len(SPECIAL_DOMAINS))
+        for name in ECH_TEST_DOMAINS:
+            profile = next(p for p in population if p.name == name)
+            assert ech_enabled(profile, CFG, datetime.date(2024, 2, 1))
+
+
+class TestHintsAndAddresses:
+    def test_persistent_mismatch_all_period(self):
+        profile = next(p for p in profiles(20) if p.name == "cf-ns.com")
+        for day in (DAY1, MID, timeline.STUDY_END):
+            assert hint_mismatch_active(profile, CFG, day)
+            a4, _a6, h4, _h6 = serving_addresses(profile, CFG, day)
+            assert a4 != h4
+
+    def test_prefix_mismatch_stops_at_fix(self):
+        cohort = [p for p in profiles() if p.hint_behaviour == "pre-fix"]
+        assert cohort
+        for profile in cohort:
+            assert not hint_mismatch_active(profile, CFG, datetime.date(2023, 7, 1))
+            assert not hint_mismatch_active(profile, CFG, MID)
+
+    def test_clean_domains_match(self):
+        profile = next(
+            p for p in profiles() if p.adopter and p.hint_behaviour == "clean" and p.is_cloudflare
+        )
+        a4, a6, h4, h6 = serving_addresses(profile, CFG, MID)
+        assert (a4, a6) == (h4, h6)
+
+
+class TestRecordSynthesis:
+    def test_cloudflare_default_shape(self):
+        profile = next(
+            p for p in profiles()
+            if p.is_cloudflare and not p.custom_config and p.adopter
+            and p.intermittency == INTERMIT_NONE and p.provider_key == "cloudflare"
+        )
+        rdatas = build_https_rdatas(profile, CFG, MID, False, None)
+        assert len(rdatas) == 1
+        record = rdatas[0]
+        assert record.priority == 1
+        assert record.target == Name.root()
+        assert "h2" in record.params.alpn and "h3" in record.params.alpn
+        assert record.params.ipv4hint
+
+    def test_h3_29_before_retirement(self):
+        profile = next(
+            p for p in profiles()
+            if p.is_cloudflare and not p.custom_config and p.adopter
+        )
+        early = build_https_rdatas(profile, CFG, datetime.date(2023, 5, 15), False, None)
+        late = build_https_rdatas(profile, CFG, datetime.date(2023, 6, 15), False, None)
+        assert "h3-29" in early[0].params.alpn
+        assert "h3-29" not in late[0].params.alpn
+
+    def test_godaddy_alias_mode(self):
+        cohort = [
+            p for p in profiles() if p.provider_key == "godaddy" and p.noncf_shape == "alias-endpoint"
+        ]
+        if not cohort:
+            pytest.skip("no godaddy domain at this population")
+        rdatas = build_https_rdatas(cohort[0], CFG, MID, False, None)
+        assert rdatas[0].priority == 0
+        assert rdatas[0].target != Name.root()
+
+    def test_nexuspipe_multi_priority(self):
+        cohort = [p for p in profiles() if p.noncf_shape == "multi-priority" and p.provider_key == "nexuspipe"]
+        if not cohort:
+            pytest.skip("no nexuspipe domain at this population")
+        rdatas = build_https_rdatas(cohort[0], CFG, MID, False, None)
+        priorities = sorted(r.priority for r in rdatas)
+        assert priorities == list(range(1, 13))
+        assert all(r.params.port for r in rdatas)
+
+    def test_gentoo_draft_alpn(self):
+        profile = next(p for p in profiles(20) if p.name == "gentoo.org")
+        rdatas = build_https_rdatas(profile, CFG, MID, False, None)
+        assert "h3-27" in rdatas[0].params.alpn
+        assert "h3-29" in rdatas[0].params.alpn
+
+    def test_err_ee_alias_to_www(self):
+        profile = next(p for p in profiles(20) if p.name == "err.ee")
+        apex_rdatas = build_https_rdatas(profile, CFG, MID, False, None)
+        assert apex_rdatas[0].priority == 0
+        assert apex_rdatas[0].target == Name.from_text("www.err.ee.")
+
+    def test_ech_parameter_included(self):
+        from repro.ech.keys import ECHKeyManager
+
+        km = ECHKeyManager("cloudflare-ech.com")
+        profile = next(
+            p for p in profiles()
+            if p.is_cloudflare and p.free_plan and not p.custom_config and p.adopter
+        )
+        rdatas = build_https_rdatas(profile, CFG, datetime.date(2023, 9, 1), False, km.published_wire(0))
+        assert rdatas[0].params.ech is not None
+
+
+class TestZoneBuild:
+    def test_zone_has_core_records(self):
+        profile = next(
+            p for p in profiles()
+            if p.adopter and p.is_cloudflare and not p.www_only and p.intermittency == INTERMIT_NONE
+        )
+        zone = build_zone(profile, CFG, MID, None)
+        assert zone.soa is not None
+        assert zone.get_rrset(profile.apex, rdtypes.NS) is not None
+        assert zone.get_rrset(profile.apex, rdtypes.A) is not None
+        assert zone.get_rrset(profile.apex, rdtypes.HTTPS) is not None
+        assert zone.get_rrset(profile.www, rdtypes.A) is not None
+
+    def test_signed_zone_when_dnssec(self):
+        cohort = [p for p in profiles() if p.dnssec_signed and p.dnssec_sign_day < 0]
+        zone = build_zone(cohort[0], CFG, MID, None)
+        assert zone.signed
+        assert zone.get_rrsigs(cohort[0].apex, rdtypes.SOA)
+
+    def test_www_only_apex_cname(self):
+        cohort = [
+            p for p in profiles()
+            if p.www_only and p.adopter and https_configured(p, CFG, MID)
+        ]
+        if not cohort:
+            pytest.skip("no active www-only domain at this population")
+        profile = cohort[0]
+        zone = build_zone(profile, CFG, MID, None)
+        assert zone.get_rrset(profile.apex, rdtypes.CNAME) is not None
+        assert zone.get_rrset(profile.www, rdtypes.HTTPS) is not None

@@ -1,0 +1,228 @@
+"""Unit tests for RFC 9460 SvcParams."""
+
+import pytest
+
+from repro.svcb.params import (
+    Alpn,
+    Ech,
+    Ipv4Hint,
+    Ipv6Hint,
+    KEY_ALPN,
+    KEY_ECH,
+    KEY_IPV4HINT,
+    KEY_MANDATORY,
+    KEY_PORT,
+    Mandatory,
+    NoDefaultAlpn,
+    OpaqueParam,
+    Port,
+    SvcParamError,
+    SvcParams,
+    key_to_name,
+    name_to_key,
+    param_from_wire,
+)
+
+
+class TestKeyNames:
+    def test_known_names(self):
+        assert key_to_name(1) == "alpn"
+        assert name_to_key("ech") == 5
+
+    def test_unknown_key_syntax(self):
+        assert key_to_name(667) == "key667"
+        assert name_to_key("key667") == 667
+
+    def test_bad_key_name(self):
+        with pytest.raises(SvcParamError):
+            name_to_key("frobnicate")
+
+    def test_key_out_of_range(self):
+        with pytest.raises(SvcParamError):
+            name_to_key("key70000")
+
+
+class TestAlpn:
+    def test_wire_round_trip(self):
+        param = Alpn(["h2", "h3"])
+        assert Alpn.from_wire_value(param.to_wire_value()) == param
+
+    def test_text(self):
+        assert Alpn(["h2", "h3"]).to_text() == "alpn=h2,h3"
+
+    def test_text_round_trip_with_escaped_comma(self):
+        param = Alpn(["we,ird"])
+        assert Alpn.from_text_value(param.value_to_text()) == param
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(SvcParamError):
+            Alpn([])
+
+    def test_empty_protocol_rejected(self):
+        with pytest.raises(SvcParamError):
+            Alpn([""])
+
+    def test_malformed_wire(self):
+        with pytest.raises(SvcParamError):
+            Alpn.from_wire_value(b"\x05h2")  # length overruns
+
+
+class TestPort:
+    def test_round_trip(self):
+        assert Port.from_wire_value(Port(8443).to_wire_value()).port == 8443
+
+    def test_range(self):
+        with pytest.raises(SvcParamError):
+            Port(70000)
+
+    def test_wire_length(self):
+        with pytest.raises(SvcParamError):
+            Port.from_wire_value(b"\x01")
+
+    def test_text(self):
+        assert Port(443).to_text() == "port=443"
+
+
+class TestHints:
+    def test_ipv4_round_trip(self):
+        param = Ipv4Hint(["1.2.3.4", "5.6.7.8"])
+        assert Ipv4Hint.from_wire_value(param.to_wire_value()) == param
+
+    def test_ipv6_round_trip(self):
+        param = Ipv6Hint(["2606:4700::1"])
+        assert Ipv6Hint.from_wire_value(param.to_wire_value()) == param
+
+    def test_ipv6_normalized(self):
+        assert Ipv6Hint(["2606:4700:0:0::1"]).addresses == ("2606:4700::1",)
+
+    def test_bad_address(self):
+        with pytest.raises(Exception):
+            Ipv4Hint(["1.2.3.999"])
+
+    def test_bad_wire_length(self):
+        with pytest.raises(SvcParamError):
+            Ipv4Hint.from_wire_value(b"\x01\x02\x03")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SvcParamError):
+            Ipv4Hint([])
+
+
+class TestMandatory:
+    def test_round_trip(self):
+        param = Mandatory([KEY_ALPN, KEY_IPV4HINT])
+        assert Mandatory.from_wire_value(param.to_wire_value()) == param
+
+    def test_must_not_include_itself(self):
+        with pytest.raises(SvcParamError):
+            Mandatory([KEY_MANDATORY])
+
+    def test_must_be_sorted_unique(self):
+        with pytest.raises(SvcParamError):
+            Mandatory([KEY_IPV4HINT, KEY_ALPN])
+        with pytest.raises(SvcParamError):
+            Mandatory([KEY_ALPN, KEY_ALPN])
+
+    def test_text(self):
+        assert Mandatory([KEY_ALPN]).to_text() == "mandatory=alpn"
+
+    def test_mandatory_key_must_be_present_in_params(self):
+        with pytest.raises(SvcParamError):
+            SvcParams([Mandatory([KEY_PORT]), Alpn(["h2"])])
+
+    def test_mandatory_satisfied(self):
+        params = SvcParams([Mandatory([KEY_PORT]), Port(443)])
+        assert params.mandatory_keys == (KEY_PORT,)
+
+
+class TestNoDefaultAlpn:
+    def test_empty_value(self):
+        assert NoDefaultAlpn().to_wire_value() == b""
+        assert NoDefaultAlpn().to_text() == "no-default-alpn"
+
+    def test_nonempty_rejected(self):
+        with pytest.raises(SvcParamError):
+            NoDefaultAlpn.from_wire_value(b"x")
+
+
+class TestEch:
+    def test_base64_round_trip(self):
+        param = Ech(b"\x00\x01binary")
+        decoded = Ech.from_text_value(param.value_to_text())
+        assert decoded.config_list == b"\x00\x01binary"
+
+    def test_bad_base64(self):
+        with pytest.raises(SvcParamError):
+            Ech.from_text_value("!!!not-base64!!!")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SvcParamError):
+            Ech(b"")
+
+
+class TestSvcParams:
+    def test_wire_round_trip(self):
+        params = SvcParams([Alpn(["h2", "h3"]), Port(8443), Ipv4Hint(["1.2.3.4"])])
+        assert SvcParams.from_wire(params.to_wire()) == params
+
+    def test_text_round_trip(self):
+        params = SvcParams([Alpn(["h2"]), Ipv4Hint(["1.2.3.4"])])
+        assert SvcParams.from_text(params.to_text()) == params
+
+    def test_keys_sorted_in_wire(self):
+        params = SvcParams([Port(443), Alpn(["h2"])])
+        wire = params.to_wire()
+        # alpn (key 1) must precede port (key 3).
+        assert wire[0:2] == b"\x00\x01"
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(SvcParamError):
+            SvcParams([Port(1), Port(2)])
+
+    def test_wire_unsorted_keys_rejected(self):
+        params = SvcParams([Alpn(["h2"]), Port(443)])
+        wire = bytearray(params.to_wire())
+        # Swap the two params to violate ordering.
+        alpn_len = 4 + 3
+        swapped = bytes(wire[alpn_len:]) + bytes(wire[:alpn_len])
+        with pytest.raises(SvcParamError):
+            SvcParams.from_wire(swapped)
+
+    def test_unknown_key_round_trips_opaque(self):
+        params = SvcParams.from_wire(b"\x02\x9a\x00\x03abc")
+        param = list(params)[0]
+        assert isinstance(param, OpaqueParam)
+        assert params.to_wire() == b"\x02\x9a\x00\x03abc"
+
+    def test_effective_alpn_includes_default(self):
+        params = SvcParams([Alpn(["h2"])])
+        assert params.effective_alpn() == ("h2", "http/1.1")
+
+    def test_effective_alpn_no_default(self):
+        params = SvcParams([Alpn(["h2"]), NoDefaultAlpn()])
+        assert params.effective_alpn() == ("h2",)
+
+    def test_effective_alpn_empty(self):
+        assert SvcParams().effective_alpn() == ("http/1.1",)
+
+    def test_accessors(self):
+        params = SvcParams(
+            [Alpn(["h2"]), Port(99), Ipv4Hint(["1.1.1.1"]), Ipv6Hint(["::1"]), Ech(b"x")]
+        )
+        assert params.alpn == ("h2",)
+        assert params.port == 99
+        assert params.ipv4hint == ("1.1.1.1",)
+        assert params.ipv6hint == ("::1",)
+        assert params.ech == b"x"
+
+    def test_truncated_wire(self):
+        with pytest.raises(SvcParamError):
+            SvcParams.from_wire(b"\x00\x01\x00\x05h2")
+
+    def test_quoted_text_value(self):
+        params = SvcParams.from_text('alpn="h2,h3"')
+        assert params.alpn == ("h2", "h3")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(SvcParamError):
+            SvcParams.from_text('alpn="h2')

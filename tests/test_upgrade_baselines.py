@@ -1,0 +1,127 @@
+"""Tests for the HTTP→HTTPS upgrade baselines (HSTS, preload, Alt-Svc,
+HTTPS RR) the paper's introduction compares."""
+
+import pytest
+
+from repro.browser.upgrade_baselines import (
+    ALL_MECHANISMS,
+    AltSvcCache,
+    HstsPolicy,
+    HstsStore,
+    MECH_ALT_SVC,
+    MECH_HSTS,
+    MECH_HSTS_PRELOAD,
+    MECH_HTTPS_RR,
+    MECH_REDIRECT,
+    SiteConfig,
+    UpgradeSimulator,
+    compare_mechanisms,
+)
+
+
+class TestHstsStore:
+    def test_dynamic_entry(self):
+        store = HstsStore()
+        store.note_header("a.com", HstsPolicy(3600), now=0)
+        assert store.must_use_https("a.com", now=100)
+
+    def test_expiry(self):
+        store = HstsStore()
+        store.note_header("a.com", HstsPolicy(3600), now=0)
+        assert not store.must_use_https("a.com", now=4000)
+
+    def test_max_age_zero_deletes(self):
+        store = HstsStore()
+        store.note_header("a.com", HstsPolicy(3600), now=0)
+        store.note_header("a.com", HstsPolicy(0), now=10)
+        assert not store.must_use_https("a.com", now=20)
+
+    def test_include_subdomains(self):
+        store = HstsStore()
+        store.note_header("a.com", HstsPolicy(3600, include_subdomains=True), now=0)
+        assert store.must_use_https("www.a.com", now=10)
+        store2 = HstsStore()
+        store2.note_header("a.com", HstsPolicy(3600, include_subdomains=False), now=0)
+        assert not store2.must_use_https("www.a.com", now=10)
+
+    def test_preload(self):
+        store = HstsStore(preload=["bank.example"])
+        assert store.must_use_https("bank.example", now=0)
+
+
+class TestAltSvcCache:
+    def test_cache_and_expiry(self):
+        cache = AltSvcCache()
+        cache.note_header("a.com", "h3", 443, max_age=100, now=0)
+        assert cache.lookup("a.com", now=50) == ("h3", 443)
+        assert cache.lookup("a.com", now=150) is None
+
+    def test_miss(self):
+        assert AltSvcCache().lookup("a.com", now=0) is None
+
+
+class TestUpgradeSimulation:
+    def make_site(self, **kwargs):
+        return SiteConfig(host="a.com", **kwargs)
+
+    def test_https_rr_never_plaintext(self):
+        simulator = UpgradeSimulator(self.make_site())
+        outcomes = simulator.run_visits(MECH_HTTPS_RR, 5)
+        assert all(o.plaintext_requests == 0 for o in outcomes)
+        assert all(not o.mitm_window for o in outcomes)
+
+    def test_redirect_always_plaintext(self):
+        simulator = UpgradeSimulator(self.make_site())
+        outcomes = simulator.run_visits(MECH_REDIRECT, 5)
+        assert all(o.plaintext_requests == 1 for o in outcomes)
+        assert all(o.mitm_window for o in outcomes)
+
+    def test_hsts_only_first_visit_plaintext(self):
+        simulator = UpgradeSimulator(self.make_site())
+        outcomes = simulator.run_visits(MECH_HSTS, 5)
+        assert outcomes[0].plaintext_requests == 1
+        assert all(o.plaintext_requests == 0 for o in outcomes[1:])
+
+    def test_preload_never_plaintext(self):
+        simulator = UpgradeSimulator(self.make_site(preloaded=True))
+        outcomes = simulator.run_visits(MECH_HSTS_PRELOAD, 3)
+        assert all(o.plaintext_requests == 0 for o in outcomes)
+
+    def test_preload_without_listing_behaves_like_hsts(self):
+        simulator = UpgradeSimulator(self.make_site(preloaded=False))
+        outcomes = simulator.run_visits(MECH_HSTS_PRELOAD, 3)
+        assert outcomes[0].plaintext_requests == 1
+        assert outcomes[1].plaintext_requests == 0
+
+    def test_alt_svc_first_visit_plaintext(self):
+        simulator = UpgradeSimulator(self.make_site())
+        outcomes = simulator.run_visits(MECH_ALT_SVC, 3)
+        assert outcomes[0].plaintext_requests == 1
+        assert all(o.plaintext_requests == 0 for o in outcomes[1:])
+
+    def test_http_only_site(self):
+        simulator = UpgradeSimulator(self.make_site(supports_https=False))
+        outcome = simulator.visit(MECH_REDIRECT, 1)
+        assert outcome.final_scheme == "http"
+        assert outcome.mitm_window
+
+    def test_unknown_mechanism(self):
+        simulator = UpgradeSimulator(self.make_site())
+        with pytest.raises(ValueError):
+            simulator.visit("carrier-pigeon", 1)
+
+
+class TestComparison:
+    def test_https_rr_wins(self):
+        results = compare_mechanisms(SiteConfig(host="a.com", preloaded=True), visits=5)
+        assert set(results) == set(ALL_MECHANISMS)
+        rr = results[MECH_HTTPS_RR]
+        assert rr["plaintext_requests"] == 0
+        assert rr["mitm_windows"] == 0
+        # Every mechanism's round-trip bill is >= the HTTPS RR one.
+        for mechanism, stats in results.items():
+            assert stats["round_trips"] >= rr["round_trips"], mechanism
+        # And the status quo is the worst.
+        assert results[MECH_REDIRECT]["round_trips"] == max(
+            stats["round_trips"] for stats in results.values()
+        )

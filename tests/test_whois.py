@@ -1,0 +1,55 @@
+"""Tests for the WHOIS registry simulation."""
+
+from repro.whois import WhoisClient, WhoisRegistry, build_default_registry
+
+
+class TestRegistry:
+    def test_provider_blocks(self):
+        registry = build_default_registry()
+        assert registry.lookup("173.245.58.20").org == "Cloudflare, Inc."
+        assert registry.lookup("216.239.32.10").org == "Google LLC"
+        assert registry.lookup("97.74.100.10").org == "GoDaddy.com, LLC"
+
+    def test_anycast_blocks(self):
+        registry = build_default_registry()
+        assert registry.lookup("104.17.42.42").org == "Cloudflare, Inc."
+        assert "China" in registry.lookup("162.159.1.1").org
+
+    def test_longest_prefix_wins(self):
+        registry = WhoisRegistry()
+        registry.add_block("10.0.0.0/8", "Big Org")
+        registry.add_block("10.1.0.0/16", "Small Org")
+        assert registry.lookup("10.1.2.3").org == "Small Org"
+        assert registry.lookup("10.2.2.3").org == "Big Org"
+
+    def test_byoip_masks_operator(self):
+        registry = WhoisRegistry()
+        registry.add_block("10.0.0.0/8", "Cloud Provider")
+        registry.add_byoip("10.5.0.0/24", "Original Owner Inc")
+        assert registry.lookup("10.5.0.9").org == "Original Owner Inc"
+
+    def test_unallocated(self):
+        registry = WhoisRegistry()
+        assert registry.lookup("192.0.2.1").org == "Unallocated"
+
+    def test_bad_ip(self):
+        registry = build_default_registry()
+        assert registry.lookup("not-an-ip") is None
+
+    def test_ipv6_cloudflare(self):
+        registry = build_default_registry()
+        assert registry.lookup("2606:4700::1").org == "Cloudflare, Inc."
+
+
+class TestClient:
+    def test_caching(self):
+        client = WhoisClient(build_default_registry())
+        client.lookup("104.16.1.1")
+        client.lookup("104.16.1.1")
+        assert client.lookup_count == 1
+
+    def test_distinct_ips_counted(self):
+        client = WhoisClient(build_default_registry())
+        client.lookup("104.16.1.1")
+        client.lookup("104.16.1.2")
+        assert client.lookup_count == 2

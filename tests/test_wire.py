@@ -1,0 +1,112 @@
+"""Unit tests for the low-level wire reader/writer."""
+
+import pytest
+
+from repro.dnscore.names import BadPointer, Name
+from repro.dnscore.wire import WireError, WireReader, WireWriter
+
+
+class TestWriter:
+    def test_integers(self):
+        writer = WireWriter()
+        writer.write_u8(0xAB)
+        writer.write_u16(0x1234)
+        writer.write_u32(0xDEADBEEF)
+        assert writer.getvalue() == b"\xab\x12\x34\xde\xad\xbe\xef"
+
+    def test_name_compression(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("www.example.com."))
+        length_first = len(writer)
+        writer.write_name(Name.from_text("mail.example.com."))
+        # Second name shares the "example.com." suffix via a 2-byte pointer.
+        assert len(writer) == length_first + 1 + 4 + 2
+
+    def test_pointer_to_whole_name(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("a.com."))
+        before = len(writer)
+        writer.write_name(Name.from_text("a.com."))
+        assert len(writer) == before + 2
+
+    def test_compression_case_insensitive(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("A.COM."))
+        before = len(writer)
+        writer.write_name(Name.from_text("a.com."))
+        assert len(writer) == before + 2
+
+    def test_compression_disabled(self):
+        writer = WireWriter(enable_compression=False)
+        writer.write_name(Name.from_text("a.com."))
+        before = len(writer)
+        writer.write_name(Name.from_text("a.com."))
+        assert len(writer) == before * 2
+
+    def test_no_compression_flag_per_name(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("a.com."))
+        before = len(writer)
+        writer.write_name(Name.from_text("a.com."), compress=False)
+        assert len(writer) == before * 2
+
+    def test_reserve_and_patch(self):
+        writer = WireWriter()
+        offset = writer.reserve_u16()
+        writer.write_bytes(b"xyz")
+        writer.patch_u16(offset, 3)
+        assert writer.getvalue() == b"\x00\x03xyz"
+
+
+class TestReader:
+    def test_read_integers(self):
+        reader = WireReader(b"\xab\x12\x34\xde\xad\xbe\xef")
+        assert reader.read_u8() == 0xAB
+        assert reader.read_u16() == 0x1234
+        assert reader.read_u32() == 0xDEADBEEF
+
+    def test_read_past_end(self):
+        reader = WireReader(b"\x01")
+        with pytest.raises(WireError):
+            reader.read_u16()
+
+    def test_name_round_trip(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("www.example.com."))
+        reader = WireReader(writer.getvalue())
+        assert reader.read_name() == Name.from_text("www.example.com.")
+
+    def test_compressed_name_round_trip(self):
+        writer = WireWriter()
+        writer.write_name(Name.from_text("www.example.com."))
+        writer.write_name(Name.from_text("mail.example.com."))
+        reader = WireReader(writer.getvalue())
+        assert reader.read_name() == Name.from_text("www.example.com.")
+        assert reader.read_name() == Name.from_text("mail.example.com.")
+
+    def test_forward_pointer_rejected(self):
+        # Pointer to offset 4 from offset 0 (forward) is invalid.
+        data = b"\xc0\x04\x00\x00\x01a\x00"
+        with pytest.raises((BadPointer, WireError)):
+            WireReader(data).read_name()
+
+    def test_pointer_loop_rejected(self):
+        # offset 0: pointer to 2; offset 2: pointer back to 0 — but forward
+        # pointers are rejected first; craft a self-loop at offset 2.
+        data = b"\x01a\xc0\x02"
+        reader = WireReader(data, offset=2)
+        with pytest.raises((BadPointer, WireError)):
+            reader.read_name()
+
+    def test_truncated_label(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x05ab").read_name()
+
+    def test_reserved_label_type(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x80a").read_name()
+
+    def test_seek_bounds(self):
+        reader = WireReader(b"abc")
+        with pytest.raises(WireError):
+            reader.seek(10)

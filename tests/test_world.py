@@ -1,0 +1,216 @@
+"""Tests for the assembled World: end-to-end resolution against the
+simulated Internet."""
+
+import datetime
+
+import pytest
+
+from repro.dnscore import rdtypes
+from repro.dnscore.names import Name
+from repro.simnet import timeline
+from repro.simnet.domains import mismatch_reachability, serving_addresses
+
+MID = datetime.date(2023, 9, 15)
+
+
+class TestWorldBasics:
+    def test_profiles_built(self, world, sim_config):
+        assert len(world.profiles) == sim_config.population
+
+    def test_profile_lookup_by_subname(self, world):
+        profile = world.profiles[50]
+        assert world.profile_of(profile.www) is profile
+        assert world.profile_of(profile.apex) is profile
+
+    def test_tranco_list_ordered_and_plausible(self, world):
+        world.set_time(timeline.STUDY_START)
+        ranked = world.tranco_list()
+        assert 0.5 * len(world.profiles) < len(ranked) <= len(world.profiles)
+        assert len(set(ranked)) == len(ranked)
+
+    def test_time_is_monotonic(self, world):
+        with pytest.raises(ValueError):
+            world.set_time(timeline.STUDY_START - datetime.timedelta(days=1))
+
+
+class TestWorldResolution:
+    def test_adopter_has_https_record(self, world):
+        world.set_time(MID)
+        profile = next(
+            p for p in world.listed_profiles()
+            if p.adopter and p.is_cloudflare and p.intermittency == "none"
+            and not p.custom_config and not p.www_only
+            and p.adoption_start_day < timeline.day_index(MID)
+            and p.deactivation_day is None
+        )
+        response = world.stub.query_https(profile.apex)
+        assert response.get_answer(profile.apex, rdtypes.HTTPS) is not None
+
+    def test_nonadopter_has_no_https_record(self, world):
+        world.set_time(MID)
+        profile = next(p for p in world.listed_profiles() if not p.adopter)
+        response = world.stub.query_https(profile.apex)
+        assert response.get_answer(profile.apex, rdtypes.HTTPS) is None
+        a_response = world.stub.query_a(profile.apex)
+        assert a_response.get_answer(profile.apex, rdtypes.A) is not None
+
+    def test_ns_records_resolvable(self, world):
+        world.set_time(MID)
+        profile = next(
+            p for p in world.listed_profiles() if p.adopter and p.provider_key == "cloudflare"
+        )
+        response = world.stub.query(profile.apex, rdtypes.NS)
+        ns_rrset = response.get_answer(profile.apex, rdtypes.NS)
+        assert ns_rrset is not None
+        ns_name = ns_rrset[0].target
+        a_response = world.stub.query(ns_name, rdtypes.A)
+        assert a_response.get_answer(ns_name, rdtypes.A) is not None
+
+    def test_signed_domain_gets_ad_bit(self, world):
+        world.set_time(MID)
+        candidates = [
+            p for p in world.listed_profiles()
+            if p.adopter and p.dnssec_signed and p.ds_uploaded and p.dnssec_sign_day < 0
+            and p.adoption_start_day < timeline.day_index(MID) - 1
+            and p.deactivation_day is None and p.intermittency == "none"
+        ]
+        assert candidates, "need a signed adopter in the test population"
+        hit = False
+        for profile in candidates[:5]:
+            response = world.stub.query_https(profile.apex)
+            if response.get_answer(profile.apex, rdtypes.HTTPS) is None:
+                continue
+            assert response.authenticated_data, profile.name
+            assert response.get_answer(profile.apex, rdtypes.RRSIG) is not None
+            hit = True
+        assert hit
+
+    def test_unsigned_domain_no_ad(self, world):
+        world.set_time(MID)
+        profile = next(
+            p for p in world.listed_profiles()
+            if p.adopter and not p.dnssec_signed and p.is_cloudflare
+        )
+        response = world.stub.query_https(profile.apex)
+        assert not response.authenticated_data
+
+    def test_signed_without_ds_no_ad(self, world):
+        """§4.5: signed but DS never uploaded → RRSIG present, AD clear."""
+        world.set_time(MID)
+        candidates = [
+            p for p in world.listed_profiles()
+            if p.adopter and p.dnssec_signed and not p.ds_uploaded and p.dnssec_sign_day < 0
+            and p.deactivation_day is None and p.intermittency == "none"
+            and p.adoption_start_day < timeline.day_index(MID) - 1 and not p.www_only
+        ]
+        if not candidates:
+            pytest.skip("no signed-without-DS adopter at this population")
+        for profile in candidates[:5]:
+            response = world.stub.query_https(profile.apex)
+            if response.get_answer(profile.apex, rdtypes.HTTPS) is None:
+                continue
+            assert response.get_answer(profile.apex, rdtypes.RRSIG) is not None
+            assert not response.authenticated_data
+            return
+        pytest.skip("no active candidate today")
+
+
+class TestWorldEch:
+    def test_ech_present_then_absent(self, sim_config):
+        from repro.simnet import World
+        from repro.svcb.params import KEY_ECH
+
+        from repro.simnet.cohorts import ECH_TEST_DOMAINS
+
+        world = World(sim_config)
+        world.set_time(datetime.date(2023, 9, 1))
+        profile = next(
+            p for p in world.listed_profiles()
+            if p.is_cloudflare and p.free_plan and not p.custom_config and p.adopter
+            and p.intermittency == "none" and p.adoption_start_day < 0 and not p.www_only
+            and p.deactivation_day is None and p.name not in ECH_TEST_DOMAINS
+        )
+        response = world.stub.query_https(profile.apex)
+        rrset = response.get_answer(profile.apex, rdtypes.HTTPS)
+        assert rrset is not None and KEY_ECH in rrset[0].params
+
+        world.set_time(datetime.date(2023, 10, 6))
+        response = world.stub.query_https(profile.apex)
+        rrset = response.get_answer(profile.apex, rdtypes.HTTPS)
+        assert rrset is not None and KEY_ECH not in rrset[0].params
+
+    def test_ech_rotates_hourly(self, sim_config):
+        from repro.simnet import World
+
+        world = World(sim_config)
+        date = datetime.date(2023, 7, 21)
+        world.set_time(date, 0)
+        profile = next(
+            p for p in world.listed_profiles()
+            if p.is_cloudflare and p.free_plan and not p.custom_config and p.adopter
+            and p.intermittency == "none" and p.adoption_start_day < 0 and not p.www_only
+            and p.deactivation_day is None
+        )
+        def fetch_ech():
+            response = world.stub.query_https(profile.apex)
+            rrset = response.get_answer(profile.apex, rdtypes.HTTPS)
+            return rrset[0].params.ech
+
+        first = fetch_ech()
+        world.set_time(date, 3)  # beyond one 1.26h rotation period
+        second = fetch_ech()
+        assert first != second
+
+
+class TestMixedProviderIntermittency:
+    def test_direct_queries_disagree(self, world):
+        """§4.2.3: one NS returns the HTTPS record, the other does not."""
+        from repro.dnscore.message import Message
+        from repro.simnet.providers import PROVIDERS
+
+        world.set_time(datetime.date(2023, 10, 20))
+        mixed = [
+            p for p in world.profiles
+            if p.intermittency == "mixed-providers" and p.adopter
+            and p.adoption_start_day < timeline.day_index(datetime.date(2023, 10, 20))
+            and p.deactivation_day is None
+        ]
+        if not mixed:
+            pytest.skip("no mixed-provider domain at this population")
+        profile = mixed[0]
+        primary_ip = PROVIDERS[profile.provider_key].server_ip
+        secondary_ip = PROVIDERS[profile.secondary_provider_key].server_ip
+        q = lambda ip: world.network.send_dns_query(
+            ip, Message.make_query(profile.apex, rdtypes.HTTPS, 1)
+        )
+        primary_answer = q(primary_ip).get_answer(profile.apex, rdtypes.HTTPS)
+        secondary_answer = q(secondary_ip).get_answer(profile.apex, rdtypes.HTTPS)
+        assert primary_answer is not None
+        assert secondary_answer is None
+
+
+class TestReachability:
+    def test_clean_domain_reachable(self, world):
+        profile = next(
+            p for p in world.profiles if p.adopter and p.hint_behaviour == "clean"
+        )
+        a4, _a6, _h4, _h6 = serving_addresses(profile, world.config, world.current_date)
+        assert world.tls_reachable(profile, a4)
+
+    def test_mismatch_reachability_cohorts(self, world):
+        profile = world.profile_by_name("cf-ns.com")
+        kind = mismatch_reachability(profile, world.config)
+        a4, _a6, h4, _h6 = serving_addresses(profile, world.config, world.current_date)
+        a_ok = world.tls_reachable(profile, a4)
+        h_ok = world.tls_reachable(profile, h4)
+        expectation = {
+            "both": (True, True),
+            "hint-only": (False, True),
+            "a-only": (True, False),
+            "neither": (False, False),
+        }[kind]
+        assert (a_ok, h_ok) == expectation
+
+    def test_unknown_ip_unreachable(self, world):
+        profile = world.profiles[0]
+        assert not world.tls_reachable(profile, "203.0.113.254")

@@ -1,0 +1,137 @@
+"""Tests for the zone-file parser/serializer."""
+
+import pytest
+
+from repro.dnscore import rdtypes
+from repro.dnscore.names import Name
+from repro.zones.zonefile import (
+    ZoneFileError,
+    parse_ttl,
+    parse_zone_file,
+    serialize_zone,
+)
+
+SAMPLE = """
+$ORIGIN example.com.
+$TTL 300
+@   IN SOA ns1.example.com. hostmaster.example.com. (
+        2024010101 ; serial
+        7200       ; refresh
+        3600       ; retry
+        1209600    ; expire
+        300 )      ; minimum
+@       IN NS   ns1.example.com.
+@       IN A    192.0.2.1
+        IN AAAA 2001:db8::1
+@   60  IN HTTPS 1 . alpn=h2,h3 ipv4hint=192.0.2.1
+www     IN CNAME example.com.
+ns1     IN A    192.0.2.53
+"""
+
+
+class TestParsing:
+    def test_full_zone(self):
+        zone = parse_zone_file(SAMPLE)
+        assert zone.apex == Name.from_text("example.com.")
+        assert zone.soa is not None
+        assert zone.soa[0].serial == 2024010101
+        https = zone.get_rrset(zone.apex, rdtypes.HTTPS)
+        assert https is not None and https.ttl == 60
+        assert https[0].params.alpn == ("h2", "h3")
+
+    def test_blank_owner_repeats_previous(self):
+        zone = parse_zone_file(SAMPLE)
+        aaaa = zone.get_rrset(zone.apex, rdtypes.AAAA)
+        assert aaaa is not None and aaaa[0].address == "2001:db8::1"
+
+    def test_relative_names_resolved(self):
+        zone = parse_zone_file(SAMPLE)
+        assert zone.get_rrset(Name.from_text("www.example.com."), rdtypes.CNAME) is not None
+
+    def test_comments_stripped(self):
+        zone = parse_zone_file("@ IN A 1.2.3.4 ; trailing comment\n", origin="a.com.")
+        assert zone.get_rrset(Name.from_text("a.com."), rdtypes.A) is not None
+
+    def test_semicolon_inside_quotes_kept(self):
+        zone = parse_zone_file('@ IN TXT "v=spf1; include:x"\n', origin="a.com.")
+        txt = zone.get_rrset(Name.from_text("a.com."), rdtypes.TXT)
+        assert b"v=spf1; include:x" in txt[0].strings
+
+    def test_origin_argument(self):
+        zone = parse_zone_file("@ IN A 1.2.3.4\nwww IN A 1.2.3.5\n", origin="b.net.")
+        assert zone.apex == Name.from_text("b.net.")
+        assert zone.get_rrset(Name.from_text("www.b.net."), rdtypes.A) is not None
+
+    def test_ttl_units(self):
+        assert parse_ttl("300") == 300
+        assert parse_ttl("5m") == 300
+        assert parse_ttl("2H") == 7200
+        assert parse_ttl("1d") == 86400
+        assert parse_ttl("1w") == 604800
+        with pytest.raises(ZoneFileError):
+            parse_ttl("5x")
+
+    def test_explicit_ttl_field(self):
+        zone = parse_zone_file("@ 60 IN A 1.2.3.4\n", origin="a.com.")
+        assert zone.get_rrset(Name.from_text("a.com."), rdtypes.A).ttl == 60
+
+    def test_class_before_ttl(self):
+        zone = parse_zone_file("@ IN 60 A 1.2.3.4\n", origin="a.com.")
+        assert zone.get_rrset(Name.from_text("a.com."), rdtypes.A).ttl == 60
+
+
+class TestErrors:
+    def test_relative_name_without_origin(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("www IN A 1.2.3.4\n")
+
+    def test_at_without_origin(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("@ IN A 1.2.3.4\n")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("@ IN SOA a. b. ( 1 2 3 4\n", origin="a.com.")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("$GENERATE 1-10 x A 1.2.3.$\n", origin="a.com.")
+
+    def test_bad_rdata_reports_line(self):
+        with pytest.raises(ZoneFileError) as excinfo:
+            parse_zone_file("@ IN A not-an-ip\n", origin="a.com.")
+        assert "line 1" in str(excinfo.value)
+
+    def test_missing_type(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("@ IN\n", origin="a.com.")
+
+    def test_empty_file(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("; only a comment\n", origin="a.com.")
+
+    def test_apex_cname_rejected_by_default(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file("@ IN CNAME www.a.com.\n@ IN NS ns1.a.com.\n", origin="a.com.")
+
+
+class TestRoundTrip:
+    def test_serialize_and_reparse(self):
+        zone = parse_zone_file(SAMPLE)
+        text = serialize_zone(zone)
+        reparsed = parse_zone_file(text)
+        assert reparsed.apex == zone.apex
+        for rrset in zone.rrsets():
+            match = reparsed.get_rrset(rrset.name, rrset.rdtype)
+            assert match == rrset, f"{rrset.name} {rrset.rdtype} diverged"
+
+    def test_soa_first_in_output(self):
+        zone = parse_zone_file(SAMPLE)
+        lines = [l for l in serialize_zone(zone).splitlines() if not l.startswith("$")]
+        assert " SOA " in lines[0]
+
+    def test_relativized_owner(self):
+        zone = parse_zone_file(SAMPLE)
+        text = serialize_zone(zone)
+        assert "\nwww 300 IN CNAME" in text
+        assert "@ " in text
