@@ -6,7 +6,8 @@ against that dataset and emits a paper-vs-measured comparison under
 ``bench_results/``.
 
 Environment knobs: ``REPRO_POPULATION`` (default 6000), ``REPRO_DAY_STEP``
-(default 7).
+(default 7), ``REPRO_WORKERS`` (default 1 — set >1 to build the dataset
+through the sharded pipeline; the result is identical either way).
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from repro.simnet import SimConfig, World
 
 BENCH_POPULATION = int(os.environ.get("REPRO_POPULATION", "6000"))
 BENCH_DAY_STEP = int(os.environ.get("REPRO_DAY_STEP", "7"))
+BENCH_WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
 CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".cache")
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
 
@@ -31,7 +33,9 @@ def bench_config() -> SimConfig:
 
 @pytest.fixture(scope="session")
 def bench_dataset(bench_config):
-    return load_or_run_campaign(bench_config, day_step=BENCH_DAY_STEP, cache_dir=CACHE_DIR)
+    return load_or_run_campaign(
+        bench_config, day_step=BENCH_DAY_STEP, cache_dir=CACHE_DIR, workers=BENCH_WORKERS
+    )
 
 
 @pytest.fixture(scope="session")

@@ -255,7 +255,9 @@ class RecursiveResolver:
             return []
         glue: Dict[Name, List[str]] = {}
         for rrset in response.additional:
-            if rrset.rdtype == rdtypes.A:
+            # Both address families count as glue; an IPv6-only name
+            # server is otherwise treated as glueless and re-resolved.
+            if rrset.rdtype in (rdtypes.A, rdtypes.AAAA):
                 glue.setdefault(rrset.name, []).extend(rd.address for rd in rrset)
         ips: List[str] = []
         for ns_rdata in ns_rrset:

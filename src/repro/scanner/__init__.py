@@ -1,6 +1,14 @@
-"""The measurement framework: scan engine, datasets, campaign runner."""
+"""The measurement framework: scan engine, datasets, campaign runner,
+and the sharded parallel pipeline."""
 
-from .campaign import load_or_run_campaign, run_campaign
+from .campaign import (
+    CampaignSchedule,
+    build_schedule,
+    canonical_cache_tag,
+    load_or_run_campaign,
+    run_campaign,
+    run_scheduled,
+)
 from .dataset import DailySnapshot, Dataset, cache_path
 from .incremental import (
     DatasetMergeError,
@@ -8,6 +16,7 @@ from .incremental import (
     coverage_gaps,
     merge_datasets,
 )
+from .pipeline import ParallelCampaignRunner, ShardPlan, merge_shard_datasets
 from .engine import ScanEngine, parse_https_rdata
 from .records import (
     ConnectivityProbe,
@@ -18,8 +27,15 @@ from .records import (
 )
 
 __all__ = [
+    "CampaignSchedule",
+    "build_schedule",
+    "canonical_cache_tag",
     "load_or_run_campaign",
     "run_campaign",
+    "run_scheduled",
+    "ParallelCampaignRunner",
+    "ShardPlan",
+    "merge_shard_datasets",
     "DatasetMergeError",
     "continuation_window",
     "coverage_gaps",

@@ -9,13 +9,19 @@ Replays the paper's measurement schedule (Table 1) chronologically:
 * connectivity probes from 2024-01-24;
 * the DNSSEC validation snapshot on (the first scan day at or after)
   2024-01-02.
+
+Schedule construction (which study days and windows are active) is
+separated from per-day scanning so the sequential runner here and the
+sharded pipeline (:mod:`~repro.scanner.pipeline`) execute the exact same
+plan.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
 import sys
-from typing import Callable, List, Optional
+from typing import AbstractSet, Callable, Mapping, Optional, Tuple
 
 from ..dnscore import rdtypes
 from ..dnssec.validation import ChainValidator
@@ -24,6 +30,58 @@ from ..simnet.config import SimConfig
 from ..simnet.world import World
 from .dataset import DailySnapshot, Dataset, cache_path
 from .engine import ScanEngine
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSchedule:
+    """The resolved plan of a campaign: which days to scan and which
+    special windows (hourly ECH, DNSSEC snapshot) are active.
+
+    Plain data (dates + ints only) so it can cross process boundaries to
+    pipeline workers unchanged.
+    """
+
+    day_step: int
+    scan_days: Tuple[datetime.date, ...]
+    ech_days: Tuple[datetime.date, ...]
+    ech_sample: int
+    # Run the DNSSEC snapshot on the first scan day at or after this
+    # date; None disables it.
+    dnssec_threshold: Optional[datetime.date]
+
+
+def build_schedule(
+    day_step: int = 7,
+    start: Optional[datetime.date] = None,
+    end: Optional[datetime.date] = None,
+    ech_sample: int = 200,
+    with_ech_hourly: bool = True,
+    with_dnssec_snapshot: bool = True,
+) -> CampaignSchedule:
+    """Resolve the study calendar into a concrete scan plan."""
+    days = set(timeline.study_days(day_step, start, end))
+    range_start = start or timeline.STUDY_START
+    range_end = end or timeline.STUDY_END
+    ech_days: Tuple[datetime.date, ...] = ()
+    if with_ech_hourly:
+        # The hourly ECH scan needs every day of its week (§4.4.2).
+        window = timeline.study_days(
+            1,
+            max(range_start, timeline.ECH_HOURLY_SCAN_START),
+            min(range_end, timeline.ECH_HOURLY_SCAN_END),
+        )
+        days.update(window)
+        ech_days = tuple(sorted(window))
+    dnssec_threshold = timeline.DNSSEC_SNAPSHOT if with_dnssec_snapshot else None
+    if with_dnssec_snapshot and range_start <= timeline.DNSSEC_SNAPSHOT <= range_end:
+        days.add(timeline.DNSSEC_SNAPSHOT)
+    return CampaignSchedule(
+        day_step=day_step,
+        scan_days=tuple(sorted(days)),
+        ech_days=ech_days,
+        ech_sample=ech_sample,
+        dnssec_threshold=dnssec_threshold,
+    )
 
 
 def run_campaign(
@@ -37,28 +95,48 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dataset:
     """Run the full measurement campaign and return the dataset."""
+    schedule = build_schedule(
+        day_step=day_step,
+        start=start,
+        end=end,
+        ech_sample=ech_sample,
+        with_ech_hourly=with_ech_hourly,
+        with_dnssec_snapshot=with_dnssec_snapshot,
+    )
+    return run_scheduled(world, schedule, progress=progress)
+
+
+def run_scheduled(
+    world: World,
+    schedule: CampaignSchedule,
+    progress: Optional[Callable[[str], None]] = None,
+    names: Optional[AbstractSet[str]] = None,
+    scan_nameservers: bool = True,
+) -> Dataset:
+    """Execute *schedule* against *world*, optionally restricted to a
+    name-slice.
+
+    With *names* given, only listed domains in that set are scanned each
+    day (the snapshot still records the full ranked list); this is the
+    unit of work a pipeline shard executes. Cross-day state (the
+    ``seen_https`` deactivation watchlist) stays correct because a slice
+    owns each of its domains' full history. ``scan_nameservers=False``
+    skips the per-day NS-IP scan (the pipeline runs it post-merge so
+    name servers shared across shards are scanned once, not N times).
+    """
     config = world.config
     engine = ScanEngine(world)
-    dataset = Dataset(config.population, config.seed, day_step)
-    days = set(timeline.study_days(day_step, start, end))
-    range_start = start or timeline.STUDY_START
-    range_end = end or timeline.STUDY_END
-    if with_ech_hourly:
-        # The hourly ECH scan needs every day of its week (§4.4.2).
-        ech_days = timeline.study_days(
-            1,
-            max(range_start, timeline.ECH_HOURLY_SCAN_START),
-            min(range_end, timeline.ECH_HOURLY_SCAN_END),
-        )
-        days.update(ech_days)
-    if with_dnssec_snapshot and range_start <= timeline.DNSSEC_SNAPSHOT <= range_end:
-        days.add(timeline.DNSSEC_SNAPSHOT)
+    dataset = Dataset(config.population, config.seed, schedule.day_step)
+    ech_days = set(schedule.ech_days)
     dnssec_done = False
     seen_https: set = set()  # apexes that published HTTPS at least once
 
-    for date in sorted(days):
+    for date in schedule.scan_days:
         world.set_time(date)
-        snapshot = _scan_one_day(world, engine, date, seen_https)
+        snapshot = _scan_one_day(
+            world, engine, date, seen_https, names=names,
+            scan_nameservers=scan_nameservers,
+        )
         dataset.add_snapshot(snapshot)
         if progress is not None:
             progress(
@@ -66,37 +144,39 @@ def run_campaign(
                 f"https={snapshot.apex_https_count}/{snapshot.www_https_count}"
             )
 
-        if (
-            with_ech_hourly
-            and timeline.ECH_HOURLY_SCAN_START <= date <= timeline.ECH_HOURLY_SCAN_END
-        ):
-            _run_ech_hourly(world, engine, dataset, date, ech_sample)
+        if date in ech_days:
+            _run_ech_hourly(world, engine, dataset, date, schedule.ech_sample)
 
         if (
-            with_dnssec_snapshot
+            schedule.dnssec_threshold is not None
             and not dnssec_done
-            and date >= timeline.DNSSEC_SNAPSHOT
+            and date >= schedule.dnssec_threshold
         ):
-            _dnssec_snapshot(world, dataset, date)
+            _dnssec_snapshot(world, dataset, date, names=names)
             dnssec_done = True
 
     return dataset
 
 
 def _scan_one_day(
-    world: World, engine: ScanEngine, date: datetime.date, seen_https: Optional[set] = None
+    world: World,
+    engine: ScanEngine,
+    date: datetime.date,
+    seen_https: Optional[set] = None,
+    names: Optional[AbstractSet[str]] = None,
+    scan_nameservers: bool = True,
 ) -> DailySnapshot:
+    """Scan one day; with *names*, only that slice of the ranked list."""
     if seen_https is None:
         seen_https = set()
-    config = world.config
     ranked = tuple(world.tranco_list(date))
+    targets = ranked if names is None else tuple(n for n in ranked if n in names)
     snapshot = DailySnapshot(date, ranked)
     in_ns_window = date >= timeline.SOA_NS_SCAN_START
     in_nsip_window = date >= timeline.NS_IP_WHOIS_SCAN_START
     in_connectivity_window = date >= timeline.CONNECTIVITY_SCAN_START
 
-    ns_hostnames_seen: set = set()
-    for name_text in ranked:
+    for name_text in targets:
         profile = world.profile_by_name(name_text)
         if profile is None:  # pragma: no cover - registry is complete
             continue
@@ -109,7 +189,6 @@ def _scan_one_day(
             snapshot.apex_https_count += 1
             snapshot.apex[apex_obs.name] = apex_obs
             seen_https.add(apex_obs.name)
-            ns_hostnames_seen.update(apex_obs.ns_names)
             if in_connectivity_window:
                 probe = engine.probe_connectivity(profile, apex_obs, date)
                 if probe is not None:
@@ -133,12 +212,23 @@ def _scan_one_day(
         if www_obs.has_https:
             snapshot.www_https_count += 1
             snapshot.www[www_obs.name] = www_obs
-            ns_hostnames_seen.update(www_obs.ns_names)
 
-    if in_nsip_window:
-        for hostname in sorted(ns_hostnames_seen):
+    if scan_nameservers and in_nsip_window:
+        for hostname in sorted(ns_hostnames_of(snapshot)):
             snapshot.ns_observations[hostname] = engine.scan_nameserver(hostname)
     return snapshot
+
+
+def ns_hostnames_of(snapshot: DailySnapshot) -> set:
+    """Hostnames the day's NS-IP scan covers: every name server seen on
+    an HTTPS-bearing apex/www observation that day (shared with the
+    pipeline's post-merge NS stage)."""
+    seen: set = set()
+    for obs in snapshot.apex.values():
+        seen.update(obs.ns_names)
+    for obs in snapshot.www.values():
+        seen.update(obs.ns_names)
+    return seen
 
 
 def _run_ech_hourly(
@@ -150,7 +240,7 @@ def _run_ech_hourly(
     the world clock stays monotonic with the daily scans around it.
     """
     today = dataset.snapshots[date]
-    targets = [name for name, obs in sorted(today.apex.items()) if obs.has_ech][:sample]
+    targets = ech_targets(today, sample)
     if not targets:
         return
     names = [world.profile_by_name(t).apex for t in targets]
@@ -165,13 +255,26 @@ def _run_ech_hourly(
     world.set_time(date, 23.9)
 
 
-def _dnssec_snapshot(world: World, dataset: Dataset, date: datetime.date) -> None:
+def ech_targets(snapshot: DailySnapshot, sample: int):
+    """The day's hourly-rescan targets: the first *sample* ECH-bearing
+    apexes in name order (shared with the pipeline's ECH stage)."""
+    return [name for name, obs in sorted(snapshot.apex.items()) if obs.has_ech][:sample]
+
+
+def _dnssec_snapshot(
+    world: World,
+    dataset: Dataset,
+    date: datetime.date,
+    names: Optional[AbstractSet[str]] = None,
+) -> None:
     """Validate the DNSSEC chain of every listed apex (Table 9)."""
     validator = ChainValidator(world.validator_source)
     now = timeline.epoch_seconds(date)
     snapshot = dataset.snapshots[date]
     https_names = set(snapshot.apex)
     for name_text in snapshot.ranked_names:
+        if names is not None and name_text not in names:
+            continue
         profile = world.profile_by_name(name_text)
         if profile is None:
             continue
@@ -198,28 +301,65 @@ def _dnssec_snapshot(world: World, dataset: Dataset, date: datetime.date) -> Non
     dataset.dnssec_snapshot_date = date
 
 
+def canonical_cache_tag(kwargs: Mapping[str, object]) -> str:
+    """A stable cache-key fragment for campaign kwargs.
+
+    Accepts primitives (None/bool/int/float/str) and ISO-datable values
+    only; anything else (callables, collections, …) has no stable repr
+    across runs and is rejected so the cache can never silently key on
+    an unstable string.
+    """
+    parts = []
+    for key in sorted(kwargs):
+        value = kwargs[key]
+        if value is None or isinstance(value, bool):
+            text = f"{type(value).__name__}:{value}"
+        elif isinstance(value, (int, float, str)):
+            text = f"{type(value).__name__}:{value!r}"
+        elif isinstance(value, (datetime.date, datetime.datetime)):
+            text = f"date:{value.isoformat()}"
+        else:
+            raise TypeError(
+                f"campaign kwarg {key}={value!r} is not cacheable "
+                "(primitives and dates only)"
+            )
+        parts.append(f"{key}={text}")
+    return "|".join(parts)
+
+
 def load_or_run_campaign(
     config: Optional[SimConfig] = None,
     day_step: int = 7,
     cache_dir: str = ".cache",
     verbose: bool = False,
+    workers: int = 1,
     **kwargs,
 ) -> Dataset:
-    """Return a cached dataset for (config, day_step) or run the campaign."""
-    config = config if config is not None else SimConfig.from_env()
-    # The cache key covers every config field so cohort-parameter changes
-    # invalidate stale datasets.
-    import dataclasses
+    """Return a cached dataset for (config, day_step) or run the campaign.
 
-    tag = str(sorted(kwargs.items())) + repr(dataclasses.astuple(config))
+    ``workers > 1`` shards the campaign across processes via
+    :class:`~repro.scanner.pipeline.ParallelCampaignRunner`; the result
+    is equal to the sequential run, so ``workers`` deliberately stays out
+    of the cache key (any worker count can reuse the same dataset).
+    """
+    config = config if config is not None else SimConfig.from_env()
+    # The cache key covers every campaign kwarg (canonically) and every
+    # config field, so cohort-parameter changes invalidate stale datasets.
+    tag = canonical_cache_tag(kwargs) + "|" + repr(dataclasses.astuple(config))
     path = cache_path(cache_dir, config.population, config.seed, day_step, tag=tag)
     try:
         return Dataset.load(path)
     except (OSError, EOFError, TypeError):
         pass
-    world = World(config)
     progress = (lambda msg: print(msg, file=sys.stderr)) if verbose else None
-    dataset = run_campaign(world, day_step=day_step, progress=progress, **kwargs)
+    if workers > 1:
+        from .pipeline import ParallelCampaignRunner
+
+        runner = ParallelCampaignRunner(config, workers=workers, day_step=day_step, **kwargs)
+        dataset = runner.run(progress=progress)
+    else:
+        world = World(config)
+        dataset = run_campaign(world, day_step=day_step, progress=progress, **kwargs)
     try:
         dataset.save(path)
     except OSError:  # pragma: no cover - cache dir not writable

@@ -20,13 +20,16 @@ from .records import (
     DomainObservation,
     EchObservation,
     NameServerObservation,
+    _SlotsEqualityMixin,
 )
 
 _PICKLE_PROTOCOL = 4
 
 
-class DailySnapshot:
-    """Everything observed on one scan day."""
+class DailySnapshot(_SlotsEqualityMixin):
+    """Everything observed on one scan day.
+
+    Compares by value (slot-wise), like the record classes it holds."""
 
     __slots__ = (
         "date",
@@ -71,6 +74,54 @@ class DailySnapshot:
     def www_https_rate(self) -> float:
         return self.www_https_count / max(1, self.list_size)
 
+    # -- shard support -------------------------------------------------------
+
+    @classmethod
+    def merge_shards(cls, parts: Sequence["DailySnapshot"]) -> "DailySnapshot":
+        """Merge same-day snapshots whose observations cover disjoint
+        name-slices (the pipeline's per-shard outputs).
+
+        Every part must carry the same date and full ranked list; merged
+        dicts/lists are rebuilt in ranked-list order so the result is
+        indistinguishable from a sequential single-pass scan.
+        """
+        if not parts:
+            raise ValueError("nothing to merge")
+        first = parts[0]
+        for part in parts[1:]:
+            if part.date != first.date or part.ranked_names != first.ranked_names:
+                raise ValueError(
+                    f"shard snapshots disagree on the ranked list for {first.date}"
+                )
+        apex: Dict[str, DomainObservation] = {}
+        www: Dict[str, DomainObservation] = {}
+        ns_observations: Dict[str, NameServerObservation] = {}
+        watchlist: Dict[str, Tuple[str, ...]] = {}
+        connectivity: List[ConnectivityProbe] = []
+        for part in parts:
+            apex.update(part.apex)
+            www.update(part.www)
+            ns_observations.update(part.ns_observations)
+            watchlist.update(part.watchlist_ns)
+            connectivity.extend(part.connectivity)
+        merged = cls(first.date, first.ranked_names)
+        rank = {name: i for i, name in enumerate(first.ranked_names)}
+        merged.apex = {n: apex[n] for n in first.ranked_names if n in apex}
+        # www observations are keyed by the scanned hostname (www.<apex>).
+        merged.www = {
+            key: www[key]
+            for key in (f"www.{n}" for n in first.ranked_names)
+            if key in www
+        }
+        merged.apex_https_count = len(merged.apex)
+        merged.www_https_count = len(merged.www)
+        merged.ns_observations = {h: ns_observations[h] for h in sorted(ns_observations)}
+        merged.connectivity = sorted(
+            connectivity, key=lambda probe: rank.get(probe.name, len(rank))
+        )
+        merged.watchlist_ns = {n: watchlist[n] for n in first.ranked_names if n in watchlist}
+        return merged
+
 
 class Dataset:
     """A full campaign's worth of snapshots."""
@@ -84,6 +135,18 @@ class Dataset:
         # name -> (has_https, signed, validation_state, ns_names, registrar)
         self.dnssec_snapshot: Dict[str, tuple] = {}
         self.dnssec_snapshot_date: Optional[datetime.date] = None
+
+    def __eq__(self, other: object):
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return (
+            (self.population, self.seed, self.day_step)
+            == (other.population, other.seed, other.day_step)
+            and self.snapshots == other.snapshots
+            and self.ech_observations == other.ech_observations
+            and self.dnssec_snapshot == other.dnssec_snapshot
+            and self.dnssec_snapshot_date == other.dnssec_snapshot_date
+        )
 
     # -- access ------------------------------------------------------------
 

@@ -125,14 +125,26 @@ class ScanEngine:
             self._follow_up_queries(observation, name)
         return observation
 
+    _MAX_CNAME_CHAIN = 8
+
     def _terminal_cname(self, response: Message, name: Name) -> Optional[Name]:
+        """The terminal owner of the response's CNAME chain, or None.
+
+        A chain that does not terminate within the hop limit is treated
+        as no answer (real scanners abandon such chains rather than
+        attribute records to a mid-chain owner).
+        """
         current = name
-        for _ in range(8):
+        for _ in range(self._MAX_CNAME_CHAIN):
             rrset = response.get_answer(current, rdtypes.CNAME)
             if rrset is None:
                 return current if current != name else None
             current = rrset[0].target
-        return current
+        # Hop budget consumed: the last target may still be the terminal
+        # owner (a chain of exactly _MAX_CNAME_CHAIN links).
+        if response.get_answer(current, rdtypes.CNAME) is None:
+            return current
+        return None
 
     def _follow_up_queries(self, observation: DomainObservation, name: Name) -> None:
         stub = self.world.stub

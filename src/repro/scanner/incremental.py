@@ -11,9 +11,10 @@ worlds cannot be silently mixed.
 from __future__ import annotations
 
 import datetime
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .dataset import Dataset
+from .records import EchObservation
 
 
 class DatasetMergeError(ValueError):
@@ -31,6 +32,7 @@ def merge_datasets(slices: Sequence[Dataset], allow_overlap: bool = False) -> Da
         raise DatasetMergeError("nothing to merge")
     first = slices[0]
     merged = Dataset(first.population, first.seed, first.day_step)
+    ech_by_key: Dict[Tuple[str, int, bytes], EchObservation] = {}
     for dataset in slices:
         if (dataset.population, dataset.seed) != (first.population, first.seed):
             raise DatasetMergeError(
@@ -41,7 +43,12 @@ def merge_datasets(slices: Sequence[Dataset], allow_overlap: bool = False) -> Da
             if day in merged.snapshots and not allow_overlap:
                 raise DatasetMergeError(f"scan day {day} present in more than one slice")
             merged.snapshots[day] = snapshot
-        merged.ech_observations.extend(dataset.ech_observations)
+        # Dedupe hourly ECH rows across re-scanned slices: a (name, hour,
+        # config) sighting must appear once no matter how many slices
+        # covered that hour, with later slices superseding earlier ones.
+        for observation in dataset.ech_observations:
+            key = (observation.name, observation.hour, observation.config_digest)
+            ech_by_key[key] = observation
         if dataset.dnssec_snapshot:
             if (
                 merged.dnssec_snapshot_date is None
@@ -49,6 +56,7 @@ def merge_datasets(slices: Sequence[Dataset], allow_overlap: bool = False) -> Da
             ):
                 merged.dnssec_snapshot = dataset.dnssec_snapshot
                 merged.dnssec_snapshot_date = dataset.dnssec_snapshot_date
+    merged.ech_observations = list(ech_by_key.values())
     merged.day_step = _effective_step(merged)
     return merged
 

@@ -1,0 +1,341 @@
+"""Sharded scan pipeline: the campaign decomposed across workers.
+
+The sequential :func:`~repro.scanner.campaign.run_campaign` walks every
+ranked name through one :class:`~repro.simnet.world.World`. Worlds are
+deterministic functions of (:class:`~repro.simnet.config.SimConfig`,
+seed), so the campaign parallelises cleanly: partition the domain space
+into N shards, let each worker rebuild its own world and scan only its
+slice of every day's ranked list, then merge the per-shard snapshots.
+
+Sharding is by *domain*, never by day: cross-day state (the
+``seen_https`` set driving the deactivation watchlist) follows a domain
+through the whole study, so each worker must own its domains' full
+history. Two properties make the merged dataset *equal* to (not merely
+statistically like) the sequential one:
+
+* every observation is deterministic per (name, day/hour) — resolver
+  caches expire well within the scan cadence (``default_ttl`` 300 s vs
+  daily/hourly steps), so a fresh world answers exactly like a
+  long-running one;
+* merge order is canonical — per-day dicts are rebuilt in ranked-list
+  order and hourly ECH rows in (hour, name) order, which is precisely
+  the order a single sequential pass emits them in.
+
+The hourly ECH rescan (§4.4.2) needs the *global* day snapshot to pick
+its targets (first ``ech_sample`` ECH-bearing apexes by name), so it
+runs as a second stage after the daily-scan merge, itself sharded by the
+same plan.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import datetime
+import hashlib
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..simnet import timeline
+from ..simnet.config import SimConfig
+from ..simnet.world import World
+from .campaign import (
+    CampaignSchedule,
+    build_schedule,
+    ech_targets,
+    ns_hostnames_of,
+    run_scheduled,
+)
+from .dataset import DailySnapshot, Dataset
+from .engine import ScanEngine
+from .incremental import DatasetMergeError
+from .records import EchObservation, NameServerObservation
+
+
+class ShardPlan:
+    """Deterministic partition of the domain space into N shards.
+
+    Assignment hashes the (seed, name) pair, so it is stable across
+    processes, runs, and daily Tranco churn — a domain always lands in
+    the same shard no matter which day's list it appears on.
+    """
+
+    def __init__(self, shards: int, seed: str = ""):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.seed = seed
+
+    def shard_of(self, name: str) -> int:
+        if self.shards == 1:
+            return 0
+        digest = hashlib.sha256(f"{self.seed}|{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.shards
+
+    def slice_of(self, names: Iterable[str], index: int) -> List[str]:
+        """The sub-list of *names* owned by shard *index* (order kept)."""
+        return [name for name in names if self.shard_of(name) == index]
+
+    def partition(self, names: Iterable[str]) -> List[List[str]]:
+        """Split *names* into per-shard lists (order kept within each)."""
+        parts: List[List[str]] = [[] for _ in range(self.shards)]
+        for name in names:
+            parts[self.shard_of(name)].append(name)
+        return parts
+
+
+# ---------------------------------------------------------------------------
+# worker entry points (module-level so process pools can pickle them)
+# ---------------------------------------------------------------------------
+
+
+def _scan_shard(
+    config: SimConfig, schedule: CampaignSchedule, shards: int, index: int
+) -> Dataset:
+    """Stage 1: run the daily-scan schedule over one domain shard."""
+    world = World(config)
+    plan = ShardPlan(shards, config.seed)
+    names = {p.name for p in world.profiles if plan.shard_of(p.name) == index}
+    # Hourly ECH and the NS-IP scan run post-merge: the former needs the
+    # merged day snapshot to pick targets, and popular name servers
+    # appear in every shard, so scanning them here would repeat the work
+    # N times.
+    quiet = dataclasses.replace(schedule, ech_days=())
+    return run_scheduled(world, quiet, names=names, scan_nameservers=False)
+
+
+def _scan_ns_shard(
+    config: SimConfig,
+    day_hostnames: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
+) -> List[Tuple[datetime.date, str, NameServerObservation]]:
+    """Post-merge NS stage: resolve + WHOIS-attribute name servers."""
+    world = World(config)
+    engine = ScanEngine(world)
+    results: List[Tuple[datetime.date, str, NameServerObservation]] = []
+    for date, hostnames in sorted(day_hostnames):
+        world.set_time(date)
+        for hostname in hostnames:
+            results.append((date, hostname, engine.scan_nameserver(hostname)))
+    return results
+
+
+def _scan_ech_shard(
+    config: SimConfig,
+    day_targets: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
+) -> List[EchObservation]:
+    """Stage 2: hourly ECH rescans for this shard's targets per day."""
+    world = World(config)
+    engine = ScanEngine(world)
+    observations: List[EchObservation] = []
+    for date, targets in sorted(day_targets):
+        names = [world.profile_by_name(t).apex for t in targets]
+        for hour in range(24):
+            world.set_time(date, hour)
+            absolute_hour = timeline.day_index(date) * 24 + hour
+            for name in names:
+                observation = engine.scan_ech(name, absolute_hour)
+                if observation is not None:
+                    observations.append(observation)
+    return observations
+
+
+# ---------------------------------------------------------------------------
+# merge
+# ---------------------------------------------------------------------------
+
+
+def merge_shard_datasets(parts: Sequence[Dataset]) -> Dataset:
+    """Merge per-shard datasets covering the *same days* over disjoint
+    name-slices (the domain-sharded counterpart of
+    :func:`~repro.scanner.incremental.merge_datasets`, which merges
+    disjoint day-slices of the full name space)."""
+    if not parts:
+        raise DatasetMergeError("nothing to merge")
+    first = parts[0]
+    for part in parts[1:]:
+        if (part.population, part.seed) != (first.population, first.seed):
+            raise DatasetMergeError(
+                "cannot merge shards from different worlds: "
+                f"{(part.population, part.seed)} vs {(first.population, first.seed)}"
+            )
+        if part.days() != first.days():
+            raise DatasetMergeError("shard datasets cover different scan days")
+    merged = Dataset(first.population, first.seed, first.day_step)
+    for day in first.days():
+        try:
+            merged.add_snapshot(
+                DailySnapshot.merge_shards([part.snapshots[day] for part in parts])
+            )
+        except ValueError as exc:
+            raise DatasetMergeError(str(exc)) from exc
+    merged.ech_observations = _canonical_ech_order(
+        observation for part in parts for observation in part.ech_observations
+    )
+    dates = {p.dnssec_snapshot_date for p in parts if p.dnssec_snapshot_date is not None}
+    if len(dates) > 1:
+        raise DatasetMergeError(f"shards disagree on the DNSSEC snapshot day: {dates}")
+    if dates:
+        date = dates.pop()
+        combined: Dict[str, tuple] = {}
+        for part in parts:
+            combined.update(part.dnssec_snapshot)
+        ranked = (
+            merged.snapshots[date].ranked_names
+            if date in merged.snapshots
+            else tuple(sorted(combined))
+        )
+        merged.dnssec_snapshot = {n: combined[n] for n in ranked if n in combined}
+        merged.dnssec_snapshot_date = date
+    return merged
+
+
+def _canonical_ech_order(observations: Iterable[EchObservation]) -> List[EchObservation]:
+    """Sort hourly ECH rows the way a sequential pass emits them: days
+    and hours ascending, targets in name order within each hour."""
+    return sorted(observations, key=lambda o: (o.hour, o.name))
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+
+class ParallelCampaignRunner:
+    """Run the measurement campaign sharded across worker processes.
+
+    Produces a :class:`Dataset` equal to ``run_campaign`` on the same
+    config (see module docstring for why). ``executor='thread'`` swaps
+    in a thread pool — no speedup under the GIL, but handy for tests and
+    debugging since it avoids pickling through process boundaries.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        workers: int = 2,
+        day_step: int = 7,
+        start: Optional[datetime.date] = None,
+        end: Optional[datetime.date] = None,
+        ech_sample: int = 200,
+        with_ech_hourly: bool = True,
+        with_dnssec_snapshot: bool = True,
+        executor: str = "process",
+    ):
+        if executor not in ("process", "thread"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.config = config if config is not None else SimConfig()
+        self.workers = max(1, int(workers))
+        self.executor = executor
+        self.schedule = build_schedule(
+            day_step=day_step,
+            start=start,
+            end=end,
+            ech_sample=ech_sample,
+            with_ech_hourly=with_ech_hourly,
+            with_dnssec_snapshot=with_dnssec_snapshot,
+        )
+        self.plan = ShardPlan(self.workers, self.config.seed)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, progress: Optional[Callable[[str], None]] = None) -> Dataset:
+        if self.workers == 1:
+            return run_scheduled(World(self.config), self.schedule, progress=progress)
+        with self._pool() as pool:
+            shards = self._gather(
+                pool,
+                [
+                    (_scan_shard, (self.config, self.schedule, self.workers, index))
+                    for index in range(self.workers)
+                ],
+                progress,
+                "daily scans",
+            )
+        dataset = merge_shard_datasets(shards)
+        self._run_ns_stage(dataset, progress)
+        if self.schedule.ech_days:
+            self._run_ech_stage(dataset, progress)
+        return dataset
+
+    # -- internals ---------------------------------------------------------
+
+    def _pool(self):
+        if self.executor == "thread":
+            return concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+
+    def _gather(self, pool, tasks, progress, label: str) -> list:
+        futures = [pool.submit(fn, *args) for fn, args in tasks]
+        if progress is not None:
+            done = 0
+            for _ in concurrent.futures.as_completed(futures):
+                done += 1
+                progress(f"{label}: shard {done}/{len(futures)} complete")
+        return [future.result() for future in futures]
+
+    def _run_ns_stage(self, dataset: Dataset, progress) -> None:
+        """Scan each NS-IP-window day's name servers once over the merged
+        snapshots (stage 1 skips them — popular name servers appear in
+        every shard and would be scanned N times), sharded by hostname."""
+        per_shard: List[Dict[datetime.date, List[str]]] = [
+            {} for _ in range(self.workers)
+        ]
+        for date in self.schedule.scan_days:
+            if date < timeline.NS_IP_WHOIS_SCAN_START:
+                continue
+            snapshot = dataset.snapshots.get(date)
+            if snapshot is None:
+                continue
+            for hostname in sorted(ns_hostnames_of(snapshot)):
+                per_shard[self.plan.shard_of(hostname)].setdefault(date, []).append(
+                    hostname
+                )
+        tasks = []
+        for day_hostnames in per_shard:
+            if not day_hostnames:
+                continue
+            frozen = tuple(
+                (date, tuple(hostnames))
+                for date, hostnames in sorted(day_hostnames.items())
+            )
+            tasks.append((_scan_ns_shard, (self.config, frozen)))
+        if not tasks:
+            return
+        with self._pool() as pool:
+            results = self._gather(pool, tasks, progress, "NS-IP scans")
+        by_day: Dict[datetime.date, Dict[str, NameServerObservation]] = {}
+        for result in results:
+            for date, hostname, observation in result:
+                by_day.setdefault(date, {})[hostname] = observation
+        for date, observations in by_day.items():
+            dataset.snapshots[date].ns_observations = {
+                hostname: observations[hostname] for hostname in sorted(observations)
+            }
+
+    def _run_ech_stage(self, dataset: Dataset, progress) -> None:
+        """Select hourly-rescan targets from the merged day snapshots
+        (the same global rule the sequential runner applies), shard them
+        by owner, and scan."""
+        per_shard: List[Dict[datetime.date, List[str]]] = [
+            {} for _ in range(self.workers)
+        ]
+        for date in self.schedule.ech_days:
+            snapshot = dataset.snapshots.get(date)
+            if snapshot is None:
+                continue
+            for name in ech_targets(snapshot, self.schedule.ech_sample):
+                per_shard[self.plan.shard_of(name)].setdefault(date, []).append(name)
+        tasks = []
+        for day_targets in per_shard:
+            if not day_targets:
+                continue
+            frozen = tuple(
+                (date, tuple(names)) for date, names in sorted(day_targets.items())
+            )
+            tasks.append((_scan_ech_shard, (self.config, frozen)))
+        if not tasks:
+            return
+        with self._pool() as pool:
+            results = self._gather(pool, tasks, progress, "hourly ECH")
+        dataset.ech_observations = _canonical_ech_order(
+            observation for result in results for observation in result
+        )

@@ -2,6 +2,8 @@
 
 These are the rows of the measurement dataset — memory-lean (slots,
 shared tuples) because a campaign holds hundreds of thousands of them.
+All records compare by value (field-wise over their slots) so shard
+merges and sequential-vs-parallel equivalence checks can use ``==``.
 """
 
 from __future__ import annotations
@@ -10,7 +12,28 @@ import datetime
 from typing import Optional, Tuple
 
 
-class HttpsRecordView:
+class _SlotsEqualityMixin:
+    """Field-wise equality for ``__slots__`` record classes.
+
+    Defining ``__eq__`` leaves the classes deliberately unhashable:
+    several records are mutated after construction (the scanner fills
+    follow-up fields in place), so a value-based hash would be unsafe
+    and the old identity hash would contradict value equality. Key
+    containers by an explicit field tuple instead.
+    """
+
+    __slots__ = ()
+
+    def _astuple(self) -> tuple:
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __eq__(self, other: object):
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+
+class HttpsRecordView(_SlotsEqualityMixin):
     """One HTTPS rdata as the scanner parsed it."""
 
     __slots__ = (
@@ -72,7 +95,7 @@ class HttpsRecordView:
         return f"HttpsRecordView({self.priority} {self.target} alpn={self.alpn})"
 
 
-class DomainObservation:
+class DomainObservation(_SlotsEqualityMixin):
     """One (domain, kind, day) scan result."""
 
     __slots__ = (
@@ -139,7 +162,7 @@ class DomainObservation:
         return f"DomainObservation({self.name}/{self.kind}, https={self.has_https})"
 
 
-class NameServerObservation:
+class NameServerObservation(_SlotsEqualityMixin):
     """One (nameserver hostname, day) scan result with WHOIS attribution."""
 
     __slots__ = ("hostname", "ips", "whois_org")
@@ -153,7 +176,7 @@ class NameServerObservation:
         return f"NameServerObservation({self.hostname} -> {self.whois_org})"
 
 
-class ConnectivityProbe:
+class ConnectivityProbe(_SlotsEqualityMixin):
     """One §4.3.5 TLS-reachability check on a mismatched domain."""
 
     __slots__ = ("name", "date", "a_addrs", "hint_addrs", "a_reachable", "hint_reachable")
@@ -179,7 +202,7 @@ class ConnectivityProbe:
         return not (self.a_reachable and self.hint_reachable)
 
 
-class EchObservation:
+class EchObservation(_SlotsEqualityMixin):
     """One (domain, absolute hour) ECH config sighting."""
 
     __slots__ = ("name", "hour", "config_digest", "public_name", "config_id")

@@ -5,7 +5,7 @@ import datetime
 
 import pytest
 
-from repro.scanner import run_campaign
+from repro.scanner import Dataset, run_campaign
 from repro.scanner.incremental import (
     DatasetMergeError,
     continuation_window,
@@ -75,6 +75,49 @@ class TestMerge:
         merged = merge_datasets(list(slices))
         series = adoption.dynamic_adoption(merged)
         assert len(series["apex"].points) == len(merged.days())
+
+
+class TestEchOverlapDedupe:
+    """Regression: allow_overlap merges used to concatenate hourly ECH
+    rows, so a re-scanned slice doubled every sighting and skewed the
+    Fig. 13/14 shares."""
+
+    @staticmethod
+    def _dataset_with_ech(rows):
+        from repro.scanner.records import EchObservation
+
+        dataset = Dataset(250, "imc2024-dnshttps", 14)
+        dataset.ech_observations = [EchObservation(*row) for row in rows]
+        return dataset
+
+    def test_rescan_does_not_duplicate_rows(self):
+        first = self._dataset_with_ech([("a.com", 10, b"d1", "cf.com", 1)])
+        rescan = self._dataset_with_ech([("a.com", 10, b"d1", "cf.com", 1)])
+        merged = merge_datasets([first, rescan], allow_overlap=True)
+        assert len(merged.ech_observations) == 1
+
+    def test_later_slice_wins_on_same_key(self):
+        first = self._dataset_with_ech([("a.com", 10, b"d1", "stale.example", 1)])
+        rescan = self._dataset_with_ech([("a.com", 10, b"d1", "fresh.example", 2)])
+        merged = merge_datasets([first, rescan], allow_overlap=True)
+        assert len(merged.ech_observations) == 1
+        assert merged.ech_observations[0].public_name == "fresh.example"
+        assert merged.ech_observations[0].config_id == 2
+
+    def test_distinct_sightings_all_kept(self):
+        first = self._dataset_with_ech(
+            [("a.com", 10, b"d1", "cf.com", 1), ("a.com", 11, b"d2", "cf.com", 2)]
+        )
+        second = self._dataset_with_ech([("b.com", 10, b"d1", "cf.com", 1)])
+        merged = merge_datasets([first, second], allow_overlap=True)
+        assert len(merged.ech_observations) == 3
+
+    def test_disjoint_slices_unchanged(self, slices):
+        first, second = slices
+        merged = merge_datasets([first, second])
+        assert merged.ech_observations == (
+            first.ech_observations + second.ech_observations
+        )
 
 
 class TestContinuation:

@@ -195,6 +195,29 @@ class TestRecursive:
         response = resolver.resolve("example.com.", rdtypes.HTTPS)
         assert response.get_answer("example.com.", rdtypes.HTTPS) is not None
 
+    def test_ipv6_only_glue_followed(self):
+        """Regression: referral glue harvesting only accepted A records,
+        so an IPv6-only name server looked glueless and its zone became
+        unreachable (its NS name does not resolve out-of-bailiwick)."""
+        network, _clock, resolver, _tree = build_internet()
+        com_server = network.dns_server_at("192.5.6.30")
+        com = com_server.tree.zone_for(Name.from_text("v6only.com."))
+        assert com is not None  # the com. zone serves the new delegation
+        com.delegate(Name.from_text("v6only.com."), [Name.from_text("ns1.v6only.com.")])
+        com.add_record("ns1.v6only.com.", "AAAA", "2001:db8::53")
+
+        v6zone = Zone(Name.from_text("v6only.com."))
+        v6zone.ensure_soa()
+        v6zone.add_record("v6only.com.", "A", "10.0.0.99")
+        v6zone.add_record("ns1.v6only.com.", "AAAA", "2001:db8::53")
+        v6server = AuthoritativeServer("v6only")
+        v6server.tree.add_zone(v6zone)
+        network.register_dns("2001:db8::53", v6server)
+
+        response = resolver.resolve("v6only.com.", rdtypes.A)
+        assert response.rcode == rdtypes.NOERROR
+        assert response.get_answer("v6only.com.", rdtypes.A) is not None
+
     def test_ns_selection_deterministic_within_day(self):
         network, _clock, resolver, _tree = build_internet()
         order1 = resolver._select_server(["1.1.1.1", "2.2.2.2", "3.3.3.3"], Name.from_text("a.com."))

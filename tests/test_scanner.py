@@ -60,6 +60,41 @@ class TestScanName:
         assert obs.via_cname is not None
         assert obs.has_https, "HTTPS record found at the CNAME target"
 
+    def test_unterminated_cname_chain_is_no_answer(self, engine):
+        """A chain longer than the hop limit must not attribute records
+        to a mid-chain owner (regression: the old code returned the 8th
+        hop as the 'terminal' name)."""
+        response, links = self._chain_response(11)
+        assert engine._terminal_cname(response, links[0]) is None
+
+    @staticmethod
+    def _chain_response(length):
+        from repro.dnscore.message import Message
+        from repro.dnscore.names import Name
+        from repro.dnscore.rdata import CNAMERdata
+        from repro.dnscore.rrset import RRset
+
+        links = [Name.from_text(f"hop{i}.example.") for i in range(length + 1)]
+        response = Message(1)
+        response.is_response = True
+        for current, target in zip(links, links[1:]):
+            response.answers.append(
+                RRset(current, rdtypes.CNAME, 300, [CNAMERdata(target)])
+            )
+        return response, links
+
+    def test_short_cname_chain_still_resolves(self, engine):
+        response, links = self._chain_response(3)
+        assert engine._terminal_cname(response, links[0]) == links[-1]
+
+    def test_chain_at_exact_hop_limit_resolves(self, engine):
+        response, links = self._chain_response(8)
+        assert engine._terminal_cname(response, links[0]) == links[-1]
+
+    def test_chain_one_past_hop_limit_is_no_answer(self, engine):
+        response, links = self._chain_response(9)
+        assert engine._terminal_cname(response, links[0]) is None
+
     def test_rrsig_flag(self, scan_world, engine):
         cohort = [
             p for p in scan_world.listed_profiles()
