@@ -1,0 +1,103 @@
+"""Wall-clock comparison: serial resolution vs the batched core.
+
+Runs the same campaign twice — once with one blocking ``resolve`` per
+query and once through the batched resolution core (state machines
+interleaved by ``BatchResolver`` with in-flight query coalescing) —
+verifies the two datasets are value-equal, and records both timings
+plus the coalescing counters under
+``bench_results/batch_resolver_walltime.txt``.
+
+Not collected by pytest (no ``test_`` prefix) because it deliberately
+rebuilds the campaign twice without the cache; run it directly:
+
+    PYTHONPATH=src python benchmarks/batch_resolver_walltime.py --population 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import time
+
+from repro.scanner import run_campaign
+from repro.simnet import SimConfig, World
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "bench_results", "batch_resolver_walltime.txt"
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--population", type=int, default=2000)
+    parser.add_argument("--day-step", type=int, default=28)
+    parser.add_argument("--ech-sample", type=int, default=60)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per mode (modes interleave round by "
+                             "round so host drift hits both); best run recorded")
+    args = parser.parse_args()
+
+    config = SimConfig(population=args.population)
+    kwargs = dict(day_step=args.day_step, ech_sample=args.ech_sample)
+
+    # Equivalence check first (untimed): the acceptance property is that
+    # both paths build value-equal datasets.
+    serial = run_campaign(World(config), batch=False, **kwargs)
+    batched = run_campaign(World(config), batch=True, **kwargs)
+    equal = batched == serial
+    serial_queries = serial.run_stats.dns_queries
+    stats = batched.run_stats
+    del serial, batched  # keep the timed phase's memory profile flat
+
+    def timed_once(batch: bool) -> float:
+        gc.collect()
+        started = time.perf_counter()
+        run_campaign(World(config), batch=batch, **kwargs)
+        return time.perf_counter() - started
+
+    serial_s = batched_s = None
+    for _ in range(max(1, args.repeats)):
+        elapsed = timed_once(batch=False)
+        serial_s = elapsed if serial_s is None else min(serial_s, elapsed)
+        elapsed = timed_once(batch=True)
+        batched_s = elapsed if batched_s is None else min(batched_s, elapsed)
+    speedup = serial_s / batched_s if batched_s else float("inf")
+    lines = [
+        "Batched resolution core: wall-clock comparison",
+        f"  population {config.population}, day_step {args.day_step}, "
+        f"ech_sample {args.ech_sample}, best of {max(1, args.repeats)}",
+        f"  host CPU cores available: {os.cpu_count()}",
+        "",
+        f"  serial resolution (batch=False):  {serial_s:8.1f} s "
+        f"({serial_queries} upstream queries)",
+        f"  batched resolution (batch=True):  {batched_s:8.1f} s "
+        f"({stats.dns_queries} upstream queries)",
+        f"  speedup: {speedup:.2f}x",
+        f"  datasets value-equal: {equal}",
+        "",
+        f"  batch jobs scheduled:        {stats.batch_jobs}",
+        f"  coalesced upstream queries:  {stats.coalesced_queries}",
+        f"  attached duplicate jobs:     {stats.attached_jobs}",
+        f"  batch memo hits:             {stats.batch_memo_hits}",
+        "",
+        "  The simulated network has zero latency, so the batched path's",
+        "  edge comes from dedup (coalescing, attachment, shared cache",
+        "  fills) and from pausing the cyclic GC per batch so in-flight",
+        "  machines are never promoted into full-heap collections over",
+        "  the immortal world; against real transports the interleaving",
+        "  itself would dominate. The equivalence guarantee (value-equal",
+        "  datasets) is what the campaign relies on.",
+    ]
+    text = "\n".join(lines)
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    if not equal:
+        return 1
+    return 0 if batched_s <= serial_s else 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,9 @@ against that dataset and emits a paper-vs-measured comparison under
 
 Environment knobs: ``REPRO_POPULATION`` (default 6000), ``REPRO_DAY_STEP``
 (default 7), ``REPRO_WORKERS`` (default 1 — set >1 to build the dataset
-through the sharded pipeline; the result is identical either way).
+through the sharded pipeline), ``REPRO_BATCH`` (default 0 — set to 1 to
+resolve scans through the batched resolution core). The dataset is
+identical under every knob combination.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.simnet import SimConfig, World
 BENCH_POPULATION = int(os.environ.get("REPRO_POPULATION", "6000"))
 BENCH_DAY_STEP = int(os.environ.get("REPRO_DAY_STEP", "7"))
 BENCH_WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
+BENCH_BATCH = os.environ.get("REPRO_BATCH", "0").lower() in ("1", "true", "yes", "on")
 CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".cache")
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
 
@@ -34,7 +37,11 @@ def bench_config() -> SimConfig:
 @pytest.fixture(scope="session")
 def bench_dataset(bench_config):
     return load_or_run_campaign(
-        bench_config, day_step=BENCH_DAY_STEP, cache_dir=CACHE_DIR, workers=BENCH_WORKERS
+        bench_config,
+        day_step=BENCH_DAY_STEP,
+        cache_dir=CACHE_DIR,
+        workers=BENCH_WORKERS,
+        batch=BENCH_BATCH,
     )
 
 

@@ -84,6 +84,11 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="shard the campaign across N worker processes "
                              "(same dataset, less wall-clock on multi-core)")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction, default=False,
+                        help="resolve each day's scan list as one interleaved "
+                             "batch with in-flight query coalescing "
+                             "(--no-batch for one blocking resolve at a time; "
+                             "same dataset either way)")
     parser.add_argument("--export", metavar="DIR", help="write figure CSVs to DIR")
     parser.add_argument("--cache-dir", default=".cache")
     args = parser.parse_args(argv)
@@ -98,6 +103,7 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
         day_step=args.day_step,
         cache_dir=args.cache_dir,
         workers=args.workers,
+        batch=args.batch,
         ech_sample=args.ech_sample,
     )
     summary = adoption.summarize(dataset)
@@ -112,6 +118,14 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
              f"{event.pre_disable_mean_pct:.1f}% / {event.post_disable_max_pct:.1f}%"),
         ],
     ))
+    stats = getattr(dataset, "run_stats", None)
+    if stats is not None:
+        if getattr(dataset, "loaded_from_cache", False):
+            # A cache hit did no resolution work; the counters describe
+            # the run that originally built the dataset.
+            print(f"\nrun stats (cached dataset's originating run): {stats.summary()}")
+        else:
+            print(f"\nrun stats: {stats.summary()}")
     if args.export:
         from .reporting.export import export_figure_data
 

@@ -1,0 +1,277 @@
+"""Batched resolution scheduler: many resolutions, one interleaved pass.
+
+:class:`~repro.resolver.recursive.RecursiveResolver` exposes resolution
+as a resumable state machine (:class:`~repro.resolver.recursive.Resolution`):
+each step yields the next :class:`~repro.resolver.recursive.UpstreamQuery`
+instead of issuing it synchronously. :class:`BatchResolver` drives many
+such machines — each sending over its own resolver's
+:class:`~repro.resolver.network.Network`, like the serial path — the
+way production recursive resolvers overlap work:
+
+* a bounded in-flight **window** with a cold-chain throttle — a job
+  whose referral chain starts at the root hints (nothing cached yet)
+  pauses admission until its chain fills the delegation cache, so later
+  jobs start from cached delegations exactly like the serial path;
+* **in-flight query coalescing** — identical concurrent upstream
+  queries, keyed by (resolver, server ip, qname, qtype), are sent once
+  per scheduler round and the response is shared by every machine
+  waiting on that key, with the cache filled once;
+* **in-flight job attachment** — a job whose (resolver, qname, qtype)
+  is already being resolved attaches to the running machine instead of
+  starting its own, and is answered from that machine's response;
+* **job memoisation** — a duplicate job arriving after an identical job
+  completed inside the same batch is answered from the finished
+  response, exactly like the serial path's repeat ``resolve`` answering
+  from the resolver cache.
+
+Equivalence guarantee: against a deterministic network with a frozen
+clock (the simulation's regime inside one scan batch), every job's
+rcode, answers, and AD bit — and the resolver's post-batch cache
+contents — are value-equal to resolving the same jobs serially in
+order. The scheduler changes *when* steps run and how many duplicate
+upstream queries hit the wire, never what anything resolves to.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dnscore.message import Message
+from ..dnscore.names import Name
+from .network import HostUnreachable, Network
+from .recursive import RecursiveResolver, Resolution
+
+# In-flight resolutions per batch. Wide enough to overlap and coalesce
+# real work; the warmup round keeps the cold-start referral cost flat.
+DEFAULT_WINDOW = 24
+
+# gc.disable()/gc.enable() is process-global, and batches may overlap
+# across threads (the pipeline's thread executor); refcount the pause so
+# one batch finishing cannot re-enable collection under another.
+_GC_PAUSE_LOCK = threading.Lock()
+_GC_PAUSE_DEPTH = 0
+_GC_WAS_ENABLED = False
+
+
+def _pause_gc() -> None:
+    global _GC_PAUSE_DEPTH, _GC_WAS_ENABLED
+    with _GC_PAUSE_LOCK:
+        if _GC_PAUSE_DEPTH == 0:
+            _GC_WAS_ENABLED = gc.isenabled()
+            if _GC_WAS_ENABLED:
+                gc.disable()
+        _GC_PAUSE_DEPTH += 1
+
+
+def _resume_gc() -> None:
+    global _GC_PAUSE_DEPTH
+    with _GC_PAUSE_LOCK:
+        _GC_PAUSE_DEPTH -= 1
+        if _GC_PAUSE_DEPTH == 0 and _GC_WAS_ENABLED:
+            gc.enable()
+
+
+class _Job:
+    __slots__ = ("index", "resolution", "request", "memo_key", "send")
+
+    def __init__(self, index: int, resolution: Resolution, request, memo_key):
+        self.index = index
+        self.resolution = resolution
+        self.request = request
+        self.memo_key = memo_key
+        # Upstream queries travel each resolver's own network (exactly
+        # like the serial path), so mixed-fabric resolver lists route
+        # and count correctly.
+        self.send = resolution.resolver.network.send_dns_query
+
+
+class BatchResolver:
+    """Drives a batch of resolutions as one interleaved pass.
+
+    Each job's upstream queries travel its own resolver's network, just
+    like the serial path (*network* names the scheduler's home fabric —
+    the common case where every resolver shares it). Counters are
+    cumulative over the scheduler's lifetime so a campaign can report
+    coalescing savings across every batch it ran.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        window: int = DEFAULT_WINDOW,
+        coalesce: bool = True,
+        pause_gc: bool = True,
+    ):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.network = network
+        self.window = window
+        self.coalesce = coalesce
+        # In-flight machines (generator frames, pending responses) live
+        # across scheduler rounds; a cyclic-GC pass landing mid-batch
+        # promotes them all to the long-lived generations, which then
+        # drags repeated full-heap collections over the (immortal)
+        # simulated world. Batches are short and bounded, so pause the
+        # collector for the duration of each run() — the standard remedy
+        # for allocation-heavy batch phases.
+        self.pause_gc = pause_gc
+        self.batches_run = 0
+        self.jobs_run = 0
+        self.upstream_queries = 0
+        self.coalesced_queries = 0
+        self.attached_jobs = 0
+        self.memo_hits = 0
+
+    # -- public API --------------------------------------------------------
+
+    def resolve_many(
+        self, resolver: RecursiveResolver, questions: Sequence[Tuple[Name, int]]
+    ) -> List[Message]:
+        """Resolve every (qname, rdtype) on *resolver* as one batch."""
+        return self.run([(resolver, qname, rdtype) for qname, rdtype in questions])
+
+    def run(
+        self, jobs: Sequence[Tuple[RecursiveResolver, Name, int]]
+    ) -> List[Message]:
+        """Resolve every (resolver, qname, rdtype) job; responses come
+        back in job order."""
+        if not self.pause_gc:
+            return self._run(jobs)
+        _pause_gc()
+        try:
+            return self._run(jobs)
+        finally:
+            _resume_gc()
+
+    def _run(
+        self, jobs: Sequence[Tuple[RecursiveResolver, Name, int]]
+    ) -> List[Message]:
+        self.batches_run += 1
+        self.jobs_run += len(jobs)
+        results: List[Optional[Message]] = [None] * len(jobs)
+        memo: Dict[Tuple[int, Name, int], Message] = {}
+        followers: Dict[Tuple[int, Name, int], List[Tuple[int, RecursiveResolver]]] = {}
+        inflight: Dict[Tuple[int, Name, int], _Job] = {}
+        active: List[_Job] = []
+        window, coalesce = self.window, self.coalesce
+        upstream = coalesced = attached = memo_hits = 0
+        feed, total = 0, len(jobs)
+        while active or feed < total:
+            # Refill the in-flight window (lazy starts: later jobs see
+            # earlier jobs' cache fills, like the serial path).
+            while feed < total and len(active) < window:
+                index = feed
+                feed += 1
+                resolver, qname, rdtype = jobs[index]
+                memo_key = (id(resolver), qname, rdtype)
+                done = memo.get(memo_key)
+                if done is not None:
+                    memo_hits += 1
+                    results[index] = self._replay(resolver, done)
+                    continue
+                if memo_key in inflight:
+                    # Same question already being resolved: attach to the
+                    # running machine instead of starting a duplicate.
+                    attached += 1
+                    followers.setdefault(memo_key, []).append((index, resolver))
+                    continue
+                resolution = resolver.resolution(qname, rdtype)
+                request = resolution.start()
+                if request is None:  # answered from the resolver cache
+                    results[index] = memo[memo_key] = resolution.response
+                    continue
+                job = _Job(index, resolution, request, memo_key)
+                inflight[memo_key] = job
+                active.append(job)
+                if request.ip in resolver.root_hint_ips:
+                    # Cold referral chain (nothing cached for this name):
+                    # stop admitting jobs this round so the chain fills
+                    # the delegation cache before the rest start — the
+                    # serial path's warm-cache behaviour.
+                    break
+            if not active:
+                continue
+            if len(active) == 1:
+                # Lone in-flight machine: no coalescing possible, skip
+                # the round bookkeeping.
+                job = active[0]
+                request = job.request
+                upstream += 1
+                try:
+                    reply, error = job.send(request.ip, request.query), None
+                except HostUnreachable as exc:
+                    reply, error = None, exc
+                request = job.resolution.step(reply, error)
+                if request is None:
+                    self._finish(job, results, memo, inflight, followers)
+                    active = []
+                else:
+                    job.request = request
+                continue
+            # One scheduler round: issue each distinct pending upstream
+            # query once, then resume every machine with the shared
+            # outcome (a single cache fill serves all of them).
+            replies: Dict[tuple, Tuple[Optional[Message], Optional[Exception]]] = {}
+            keys: List[tuple] = []
+            for job in active:
+                request = job.request
+                if coalesce:
+                    question = request.query.questions[0]
+                    key = (id(job.resolution.resolver), request.ip, question.name, question.rdtype)
+                else:
+                    key = job.index
+                keys.append(key)
+                if key in replies:
+                    coalesced += 1
+                    continue
+                upstream += 1
+                try:
+                    replies[key] = (job.send(request.ip, request.query), None)
+                except HostUnreachable as exc:
+                    replies[key] = (None, exc)
+            still: List[_Job] = []
+            for job, key in zip(active, keys):
+                reply, error = replies[key]
+                request = job.resolution.step(reply, error)
+                if request is None:
+                    self._finish(job, results, memo, inflight, followers)
+                else:
+                    job.request = request
+                    still.append(job)
+            active = still
+        self.upstream_queries += upstream
+        self.coalesced_queries += coalesced
+        self.attached_jobs += attached
+        self.memo_hits += memo_hits
+        return results
+
+    def _finish(self, job: _Job, results, memo, inflight, followers) -> None:
+        """Record a completed machine's response and answer any attached
+        duplicate jobs from it."""
+        response = job.resolution.response
+        results[job.index] = memo[job.memo_key] = response
+        del inflight[job.memo_key]
+        waiting = followers.pop(job.memo_key, None)
+        if waiting:
+            for follower_index, follower_resolver in waiting:
+                results[follower_index] = self._replay(follower_resolver, response)
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _replay(resolver: RecursiveResolver, done: Message) -> Message:
+        """A fresh response for a duplicate job. Serially, the repeat
+        ``resolve`` answers from the resolver cache with identical
+        rcode/answers/AD (only the message id differs); rebuild exactly
+        that from the finished response."""
+        response = Message(resolver._next_id())
+        response.is_response = True
+        response.recursion_desired = True
+        response.recursion_available = True
+        response.questions = list(done.questions)
+        response.rcode = done.rcode
+        response.answers = list(done.answers)
+        response.authenticated_data = done.authenticated_data
+        return response

@@ -5,6 +5,12 @@ Firefox only performs HTTPS-RR lookups over DoH (paper §5.1, footnote
 encoded to DNS wire format, carried in an HTTP GET (base64url ``?dns=``)
 or POST (``application/dns-message`` body) exchange, and decoded again —
 exercising the full wire codec on every lookup.
+
+Like :class:`~repro.resolver.stub.StubResolver`, the server side is a
+thin frontend over the shared resumable resolution core: each decoded
+question drives one :class:`~repro.resolver.recursive.Resolution` state
+machine via ``resolver.resolve``, so DoH and plain-stub lookups answer
+identically (and a batch scheduler could drive the same machines).
 """
 
 from __future__ import annotations

@@ -12,12 +12,21 @@ Name-server selection is deterministic per (resolver, qname, day), which
 reproduces the paper's observation (§4.2.3) that public resolvers' server
 selection makes HTTPS records intermittent for domains whose providers
 disagree about HTTPS RR support.
+
+Resolution is structured as a *resumable state machine*: the iterative
+logic lives in generator methods that ``yield`` an :class:`UpstreamQuery`
+whenever they need the network and are resumed with the response (or an
+exception). :meth:`RecursiveResolver.resolve` drives one machine to
+completion synchronously; :class:`~repro.resolver.batch.BatchResolver`
+interleaves many machines, coalescing identical in-flight upstream
+queries. Both drivers produce value-identical answers, rcodes, AD bits,
+and cache fills — the scheduler only changes *when* each step runs.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..dnscore import rdtypes
 from ..dnscore.message import Message, Question
@@ -31,7 +40,8 @@ _MAX_CNAME_CHAIN = 8
 _MAX_REFERRALS = 16
 _MAX_NS_RESOLUTION_DEPTH = 4
 
-# Negative/SERVFAIL cache TTL.
+# Negative/SERVFAIL cache TTL (default; per-resolver override via
+# ``negative_ttl`` / :attr:`~repro.simnet.config.SimConfig.negative_ttl`).
 _NEGATIVE_TTL = 60
 
 
@@ -49,6 +59,66 @@ class _CacheEntry:
         self.ad = ad
 
 
+class UpstreamQuery:
+    """One upstream query a resolution state machine wants issued.
+
+    Yielded by the step generators; the driver (serial ``resolve`` or a
+    batch scheduler) sends ``query`` to ``ip`` and resumes the machine
+    with the response, or throws :class:`HostUnreachable` into it.
+    """
+
+    __slots__ = ("ip", "query")
+
+    def __init__(self, ip: str, query: Message):
+        self.ip = ip
+        self.query = query
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        question = self.query.questions[0]
+        return f"UpstreamQuery({self.ip}, {question.name.to_text()}/{question.rdtype})"
+
+
+class Resolution:
+    """A resumable single-name resolution (one state-machine instance).
+
+    Protocol: :meth:`start` advances to the first pending
+    :class:`UpstreamQuery` (or completes immediately on a cache hit);
+    each :meth:`step` delivers the previous query's outcome and returns
+    the next pending query, or ``None`` once :attr:`response` is set.
+    """
+
+    __slots__ = ("resolver", "qname", "rdtype", "response", "_gen")
+
+    def __init__(self, resolver: "RecursiveResolver", qname: Name, rdtype: int):
+        self.resolver = resolver
+        self.qname = qname
+        self.rdtype = rdtype
+        self.response: Optional[Message] = None
+        self._gen: Iterator = resolver._resolve_steps(qname, rdtype)
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+    def start(self) -> Optional[UpstreamQuery]:
+        try:
+            return next(self._gen)
+        except StopIteration as stop:
+            self.response = stop.value
+            return None
+
+    def step(
+        self, response: Optional[Message] = None, error: Optional[Exception] = None
+    ) -> Optional[UpstreamQuery]:
+        try:
+            if error is not None:
+                return self._gen.throw(error)
+            return self._gen.send(response)
+        except StopIteration as stop:
+            self.response = stop.value
+            return None
+
+
 class RecursiveResolver:
     """One caching recursive resolver instance (e.g. 8.8.8.8)."""
 
@@ -60,6 +130,7 @@ class RecursiveResolver:
         clock: Optional[SimClock] = None,
         validator: Optional[ChainValidator] = None,
         cache_enabled: bool = True,
+        negative_ttl: int = _NEGATIVE_TTL,
     ):
         self.name = name
         self.network = network
@@ -67,6 +138,7 @@ class RecursiveResolver:
         self.clock = clock if clock is not None else SimClock()
         self.validator = validator
         self.cache_enabled = cache_enabled
+        self.negative_ttl = negative_ttl
         self._cache: Dict[Tuple[Name, int], _CacheEntry] = {}
         self._delegation_cache: Dict[Name, Tuple[float, List[str]]] = {}
         self._msg_id = 0
@@ -75,23 +147,27 @@ class RecursiveResolver:
 
     def resolve(self, name, rdtype: int) -> Message:
         """Resolve (name, rdtype) and return a response message as a stub
-        client would see it (RA set, AD reflecting validation)."""
+        client would see it (RA set, AD reflecting validation).
+
+        Drives one :class:`Resolution` machine synchronously — the
+        serial counterpart of the batch scheduler."""
+        resolution = self.resolution(name, rdtype)
+        request = resolution.start()
+        send = self.network.send_dns_query
+        while request is not None:
+            try:
+                reply = send(request.ip, request.query)
+            except HostUnreachable as exc:
+                request = resolution.step(error=exc)
+            else:
+                request = resolution.step(reply)
+        return resolution.response
+
+    def resolution(self, name, rdtype: int) -> Resolution:
+        """A resumable state machine for resolving (name, rdtype)."""
         if not isinstance(name, Name):
             name = Name.from_text(str(name))
-        response = Message(self._next_id())
-        response.is_response = True
-        response.recursion_desired = True
-        response.recursion_available = True
-        response.questions.append(Question(name, rdtype))
-        try:
-            rcode, answers, ad = self._resolve_with_cname(name, rdtype)
-        except ResolutionError:
-            response.rcode = rdtypes.SERVFAIL
-            return response
-        response.rcode = rcode
-        response.answers = answers
-        response.authenticated_data = ad
-        return response
+        return Resolution(self, name, rdtype)
 
     def flush_cache(self) -> None:
         self._cache.clear()
@@ -106,13 +182,30 @@ class RecursiveResolver:
     def _now(self) -> float:
         return self.clock.now
 
-    def _resolve_with_cname(self, name: Name, rdtype: int) -> Tuple[int, List[RRset], bool]:
+    def _resolve_steps(self, name: Name, rdtype: int):
+        """Top of the state machine: build the client-facing response."""
+        response = Message(self._next_id())
+        response.is_response = True
+        response.recursion_desired = True
+        response.recursion_available = True
+        response.questions.append(Question(name, rdtype))
+        try:
+            rcode, answers, ad = yield from self._resolve_with_cname_steps(name, rdtype)
+        except ResolutionError:
+            response.rcode = rdtypes.SERVFAIL
+            return response
+        response.rcode = rcode
+        response.answers = answers
+        response.authenticated_data = ad
+        return response
+
+    def _resolve_with_cname_steps(self, name: Name, rdtype: int):
         """Resolve, chasing CNAMEs; returns (rcode, answer rrsets, ad)."""
         answers: List[RRset] = []
         all_secure = True
         current = name
         for _ in range(_MAX_CNAME_CHAIN):
-            rcode, rrsets, ad = self._resolve_one(current, rdtype)
+            rcode, rrsets, ad = yield from self._resolve_one_steps(current, rdtype)
             answers.extend(rrsets)
             all_secure = all_secure and ad
             target_rrset = next(
@@ -127,19 +220,19 @@ class RecursiveResolver:
             current = cname_rrset[0].target
         raise ResolutionError("CNAME chain too long")
 
-    def _resolve_one(self, name: Name, rdtype: int) -> Tuple[int, List[RRset], bool]:
+    def _resolve_one_steps(self, name: Name, rdtype: int):
         """Resolve one (name, type) without following cross-zone CNAMEs
         beyond what the authoritative answer already contains."""
         cached = self._cache_get(name, rdtype)
         if cached is not None:
             return cached.rcode, list(cached.answers), cached.ad
 
-        response = self._iterate(name, rdtype)
+        response = yield from self._iterate_steps(name, rdtype)
         ad = False
         if response.rcode == rdtypes.NOERROR and response.answers:
             ad = self._validate_answers(name, rdtype, response)
             if ad is None:  # bogus
-                self._cache_put(name, rdtype, rdtypes.SERVFAIL, [], False, _NEGATIVE_TTL)
+                self._cache_put(name, rdtype, rdtypes.SERVFAIL, [], False, self.negative_ttl)
                 raise ResolutionError("DNSSEC validation failed (bogus)")
         visible = [rr for rr in response.answers]
         if visible:
@@ -147,7 +240,7 @@ class RecursiveResolver:
         else:
             # Negative caching (RFC 2308): TTL from the SOA in authority,
             # capped by its MINIMUM field.
-            ttl = _NEGATIVE_TTL
+            ttl = self.negative_ttl
             for rrset in response.authority:
                 if rrset.rdtype == rdtypes.SOA and len(rrset):
                     ttl = min(rrset.ttl, rrset[0].minimum)
@@ -203,7 +296,7 @@ class RecursiveResolver:
         start = digest[0] % len(candidates)
         return candidates[start:] + candidates[:start]
 
-    def _iterate(self, name: Name, rdtype: int, depth: int = 0) -> Message:
+    def _iterate_steps(self, name: Name, rdtype: int, depth: int = 0):
         if depth > _MAX_NS_RESOLUTION_DEPTH:
             raise ResolutionError("NS resolution recursion too deep")
         servers = self._closest_cached_delegation(name)
@@ -215,7 +308,7 @@ class RecursiveResolver:
             tried_any = False
             for ip in self._select_server(servers, name):
                 try:
-                    response = self.network.send_dns_query(ip, query)
+                    response = yield UpstreamQuery(ip, query)
                 except HostUnreachable as exc:
                     last_error = exc
                     continue
@@ -225,7 +318,7 @@ class RecursiveResolver:
                     continue
                 if response.authoritative or response.answers or response.rcode == rdtypes.NXDOMAIN:
                     return response
-                referral = self._extract_referral(response, name, depth)
+                referral = yield from self._extract_referral_steps(response, name, depth)
                 if referral:
                     servers = referral
                     break
@@ -249,7 +342,7 @@ class RecursiveResolver:
                 return list(self.root_hint_ips)
             probe = probe.parent()
 
-    def _extract_referral(self, response: Message, qname: Name, depth: int) -> List[str]:
+    def _extract_referral_steps(self, response: Message, qname: Name, depth: int):
         ns_rrset = next((rr for rr in response.authority if rr.rdtype == rdtypes.NS), None)
         if ns_rrset is None:
             return []
@@ -265,19 +358,20 @@ class RecursiveResolver:
             if ns_name in glue:
                 ips.extend(glue[ns_name])
             else:
-                ips.extend(self._resolve_ns_address(ns_name, depth))
+                chased = yield from self._resolve_ns_address_steps(ns_name, depth)
+                ips.extend(chased)
         if ips and self.cache_enabled:
             ttl = ns_rrset.ttl
             self._delegation_cache[ns_rrset.name] = (self._now() + ttl, ips)
         return ips
 
-    def _resolve_ns_address(self, ns_name: Name, depth: int) -> List[str]:
+    def _resolve_ns_address_steps(self, ns_name: Name, depth: int):
         """Resolve a glueless NS name to addresses (bounded recursion)."""
         cached = self._cache_get(ns_name, rdtypes.A)
         if cached is not None:
             return [rd.address for rr in cached.answers if rr.rdtype == rdtypes.A for rd in rr]
         try:
-            response = self._iterate(ns_name, rdtypes.A, depth + 1)
+            response = yield from self._iterate_steps(ns_name, rdtypes.A, depth + 1)
         except ResolutionError:
             return []
         ips = [

@@ -3,6 +3,7 @@ and the sharded parallel pipeline."""
 
 from .campaign import (
     CampaignSchedule,
+    RunStats,
     build_schedule,
     canonical_cache_tag,
     load_or_run_campaign,
@@ -28,6 +29,7 @@ from .records import (
 
 __all__ = [
     "CampaignSchedule",
+    "RunStats",
     "build_schedule",
     "canonical_cache_tag",
     "load_or_run_campaign",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import datetime
 import sys
-from typing import AbstractSet, Callable, Mapping, Optional, Tuple
+from typing import AbstractSet, Callable, Dict, Mapping, Optional, Tuple
 
 from ..dnscore import rdtypes
 from ..dnssec.validation import ChainValidator
@@ -30,6 +30,61 @@ from ..simnet.config import SimConfig
 from ..simnet.world import World
 from .dataset import DailySnapshot, Dataset, cache_path
 from .engine import ScanEngine
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Transport/scheduler counters for one campaign run.
+
+    Purely diagnostic (never part of dataset equality): how many DNS
+    queries and TCP connects the run's world(s) carried, and — when the
+    batched resolution core ran — how many upstream queries in-flight
+    coalescing saved and how many duplicate jobs the batch memo
+    answered. The pipeline sums per-worker stats into the merged run
+    summary; sequential runs record their single world's counters.
+    """
+
+    dns_queries: int = 0
+    tcp_connects: int = 0
+    batch_jobs: int = 0
+    coalesced_queries: int = 0
+    attached_jobs: int = 0
+    batch_memo_hits: int = 0
+
+    def __add__(self, other: "RunStats") -> "RunStats":
+        if not isinstance(other, RunStats):
+            return NotImplemented
+        return RunStats(
+            *(a + b for a, b in zip(dataclasses.astuple(self), dataclasses.astuple(other)))
+        )
+
+    @classmethod
+    def of_world(cls, world: World) -> "RunStats":
+        """Counters accumulated by *world* since its construction."""
+        stats = cls(
+            dns_queries=world.network.dns_query_count,
+            tcp_connects=world.network.tcp_connect_count,
+        )
+        batch = world.stub.batch
+        if batch is not None:
+            stats.batch_jobs = batch.jobs_run
+            stats.coalesced_queries = batch.coalesced_queries
+            stats.attached_jobs = batch.attached_jobs
+            stats.batch_memo_hits = batch.memo_hits
+        return stats
+
+    def summary(self) -> str:
+        text = (
+            f"dns_queries={self.dns_queries} tcp_connects={self.tcp_connects}"
+        )
+        if self.batch_jobs:
+            text += (
+                f" batch_jobs={self.batch_jobs}"
+                f" coalesced_queries={self.coalesced_queries}"
+                f" attached_jobs={self.attached_jobs}"
+                f" batch_memo_hits={self.batch_memo_hits}"
+            )
+        return text
 
 
 @dataclasses.dataclass(frozen=True)
@@ -93,6 +148,7 @@ def run_campaign(
     with_ech_hourly: bool = True,
     with_dnssec_snapshot: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    batch: bool = False,
 ) -> Dataset:
     """Run the full measurement campaign and return the dataset."""
     schedule = build_schedule(
@@ -103,7 +159,7 @@ def run_campaign(
         with_ech_hourly=with_ech_hourly,
         with_dnssec_snapshot=with_dnssec_snapshot,
     )
-    return run_scheduled(world, schedule, progress=progress)
+    return run_scheduled(world, schedule, progress=progress, batch=batch)
 
 
 def run_scheduled(
@@ -112,6 +168,7 @@ def run_scheduled(
     progress: Optional[Callable[[str], None]] = None,
     names: Optional[AbstractSet[str]] = None,
     scan_nameservers: bool = True,
+    batch: bool = False,
 ) -> Dataset:
     """Execute *schedule* against *world*, optionally restricted to a
     name-slice.
@@ -123,6 +180,9 @@ def run_scheduled(
     owns each of its domains' full history. ``scan_nameservers=False``
     skips the per-day NS-IP scan (the pipeline runs it post-merge so
     name servers shared across shards are scanned once, not N times).
+    ``batch=True`` resolves each day's scans as interleaved batches
+    through the batched resolution core — the dataset is value-equal to
+    the serial path either way.
     """
     config = world.config
     engine = ScanEngine(world)
@@ -135,7 +195,7 @@ def run_scheduled(
         world.set_time(date)
         snapshot = _scan_one_day(
             world, engine, date, seen_https, names=names,
-            scan_nameservers=scan_nameservers,
+            scan_nameservers=scan_nameservers, batch=batch,
         )
         dataset.add_snapshot(snapshot)
         if progress is not None:
@@ -145,7 +205,9 @@ def run_scheduled(
             )
 
         if date in ech_days:
-            _run_ech_hourly(world, engine, dataset, date, schedule.ech_sample)
+            _run_ech_hourly(
+                world, engine, dataset, date, schedule.ech_sample, batch=batch
+            )
 
         if (
             schedule.dnssec_threshold is not None
@@ -155,6 +217,7 @@ def run_scheduled(
             _dnssec_snapshot(world, dataset, date, names=names)
             dnssec_done = True
 
+    dataset.run_stats = RunStats.of_world(world)
     return dataset
 
 
@@ -165,8 +228,15 @@ def _scan_one_day(
     seen_https: Optional[set] = None,
     names: Optional[AbstractSet[str]] = None,
     scan_nameservers: bool = True,
+    batch: bool = False,
 ) -> DailySnapshot:
-    """Scan one day; with *names*, only that slice of the ranked list."""
+    """Scan one day; with *names*, only that slice of the ranked list.
+
+    With ``batch=True`` all apex/www scans (and the watchlist NS
+    follow-ups) resolve as interleaved batches up front; the bookkeeping
+    loop below is shared by both paths, so the snapshot is value-equal
+    either way (per-name observations are deterministic at a frozen
+    clock)."""
     if seen_https is None:
         seen_https = set()
     ranked = tuple(world.tranco_list(date))
@@ -176,11 +246,22 @@ def _scan_one_day(
     in_nsip_window = date >= timeline.NS_IP_WHOIS_SCAN_START
     in_connectivity_window = date >= timeline.CONNECTIVITY_SCAN_START
 
-    for name_text in targets:
-        profile = world.profile_by_name(name_text)
+    profiles = [world.profile_by_name(name_text) for name_text in targets]
+    apex_pre: Dict[str, object] = {}
+    www_pre: Dict[str, object] = {}
+    if batch:
+        kept = [p for p in profiles if p is not None]
+        scanned = engine.scan_names(
+            [(p.apex, "apex") for p in kept] + [(p.www, "www") for p in kept]
+        )
+        apex_pre = {p.name: obs for p, obs in zip(kept, scanned[: len(kept)])}
+        www_pre = {p.name: obs for p, obs in zip(kept, scanned[len(kept):])}
+    watch_pending: list = []  # (apex Name, observation name) for batched NS follow-up
+
+    for name_text, profile in zip(targets, profiles):
         if profile is None:  # pragma: no cover - registry is complete
             continue
-        apex_obs = engine.scan_name(profile.apex, "apex")
+        apex_obs = apex_pre[name_text] if batch else engine.scan_name(profile.apex, "apex")
         if not in_ns_window:
             # Table 1: SOA/NS collection starts 2023-08-16.
             apex_obs.ns_names = ()
@@ -196,16 +277,14 @@ def _scan_one_day(
         elif in_ns_window and apex_obs.name in seen_https:
             # Deactivation follow-up (§4.2.3): track the NS records of
             # domains that used to publish HTTPS.
-            from ..dnscore import rdtypes as _rdtypes
-
-            ns_response = world.stub.query(profile.apex, _rdtypes.NS)
-            ns_rrset = ns_response.get_answer(profile.apex, _rdtypes.NS)
-            snapshot.watchlist_ns[apex_obs.name] = (
-                tuple(sorted(rd.target.to_text(omit_final_dot=True) for rd in ns_rrset))
-                if ns_rrset is not None
-                else ()
-            )
-        www_obs = engine.scan_name(profile.www, "www")
+            if batch:
+                watch_pending.append((profile.apex, apex_obs.name))
+            else:
+                ns_response = world.stub.query(profile.apex, rdtypes.NS)
+                snapshot.watchlist_ns[apex_obs.name] = _ns_name_tuple(
+                    ns_response, profile.apex
+                )
+        www_obs = www_pre[name_text] if batch else engine.scan_name(profile.www, "www")
         if not in_ns_window:
             www_obs.ns_names = ()
             www_obs.soa_serial = None
@@ -213,10 +292,51 @@ def _scan_one_day(
             snapshot.www_https_count += 1
             snapshot.www[www_obs.name] = www_obs
 
+    if watch_pending:
+        ns_responses = world.stub.query_batch(
+            [(apex, rdtypes.NS) for apex, _ in watch_pending]
+        )
+        for (apex, obs_name), ns_response in zip(watch_pending, ns_responses):
+            snapshot.watchlist_ns[obs_name] = _ns_name_tuple(ns_response, apex)
+
     if scan_nameservers and in_nsip_window:
-        for hostname in sorted(ns_hostnames_of(snapshot)):
-            snapshot.ns_observations[hostname] = engine.scan_nameserver(hostname)
+        for hostname, observation in scan_nameserver_set(
+            engine, sorted(ns_hostnames_of(snapshot)), batch=batch
+        ):
+            snapshot.ns_observations[hostname] = observation
     return snapshot
+
+
+def scan_nameserver_set(
+    engine: ScanEngine, hostnames, batch: bool = False
+):
+    """Resolve + WHOIS-attribute *hostnames* in order, serially or as one
+    batch (shared by the per-day scan and the pipeline's post-merge NS
+    stage so the two paths cannot drift apart)."""
+    if batch:
+        return list(zip(hostnames, engine.scan_nameservers(hostnames)))
+    return [(hostname, engine.scan_nameserver(hostname)) for hostname in hostnames]
+
+
+def scan_ech_hour(
+    engine: ScanEngine, names, absolute_hour: int, batch: bool = False
+):
+    """One hour's ECH rescan over *names*, serially or as one batch
+    (shared by the sequential runner and the pipeline's ECH stage)."""
+    if batch:
+        scanned = engine.scan_ech_many(names, absolute_hour)
+    else:
+        scanned = (engine.scan_ech(name, absolute_hour) for name in names)
+    return [observation for observation in scanned if observation is not None]
+
+
+def _ns_name_tuple(ns_response, apex) -> Tuple[str, ...]:
+    """The sorted NS target names of *apex* in *ns_response* (() when the
+    domain currently has no NS records at all)."""
+    ns_rrset = ns_response.get_answer(apex, rdtypes.NS)
+    if ns_rrset is None:
+        return ()
+    return tuple(sorted(rd.target.to_text(omit_final_dot=True) for rd in ns_rrset))
 
 
 def ns_hostnames_of(snapshot: DailySnapshot) -> set:
@@ -232,7 +352,12 @@ def ns_hostnames_of(snapshot: DailySnapshot) -> set:
 
 
 def _run_ech_hourly(
-    world: World, engine: ScanEngine, dataset: Dataset, date: datetime.date, sample: int
+    world: World,
+    engine: ScanEngine,
+    dataset: Dataset,
+    date: datetime.date,
+    sample: int,
+    batch: bool = False,
 ) -> None:
     """Hourly rescans of ECH-bearing domains for *date* (§4.4.2).
 
@@ -247,10 +372,9 @@ def _run_ech_hourly(
     for hour in range(24):
         world.set_time(date, hour)
         absolute_hour = timeline.day_index(date) * 24 + hour
-        for name in names:
-            observation = engine.scan_ech(name, absolute_hour)
-            if observation is not None:
-                dataset.ech_observations.append(observation)
+        dataset.ech_observations.extend(
+            scan_ech_hour(engine, names, absolute_hour, batch=batch)
+        )
     # Park the clock at the end of the day so the next daily scan is forward.
     world.set_time(date, 23.9)
 
@@ -333,14 +457,17 @@ def load_or_run_campaign(
     cache_dir: str = ".cache",
     verbose: bool = False,
     workers: int = 1,
+    batch: bool = False,
     **kwargs,
 ) -> Dataset:
     """Return a cached dataset for (config, day_step) or run the campaign.
 
     ``workers > 1`` shards the campaign across processes via
-    :class:`~repro.scanner.pipeline.ParallelCampaignRunner`; the result
-    is equal to the sequential run, so ``workers`` deliberately stays out
-    of the cache key (any worker count can reuse the same dataset).
+    :class:`~repro.scanner.pipeline.ParallelCampaignRunner`; ``batch``
+    resolves each shard's scans through the batched resolution core.
+    Both knobs produce datasets equal to the sequential serial run, so
+    they deliberately stay out of the cache key (any combination can
+    reuse the same dataset).
     """
     config = config if config is not None else SimConfig.from_env()
     # The cache key covers every campaign kwarg (canonically) and every
@@ -355,11 +482,15 @@ def load_or_run_campaign(
     if workers > 1:
         from .pipeline import ParallelCampaignRunner
 
-        runner = ParallelCampaignRunner(config, workers=workers, day_step=day_step, **kwargs)
+        runner = ParallelCampaignRunner(
+            config, workers=workers, day_step=day_step, batch=batch, **kwargs
+        )
         dataset = runner.run(progress=progress)
     else:
         world = World(config)
-        dataset = run_campaign(world, day_step=day_step, progress=progress, **kwargs)
+        dataset = run_campaign(
+            world, day_step=day_step, progress=progress, batch=batch, **kwargs
+        )
     try:
         dataset.save(path)
     except OSError:  # pragma: no cover - cache dir not writable

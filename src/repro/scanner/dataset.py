@@ -135,6 +135,15 @@ class Dataset:
         # name -> (has_https, signed, validation_state, ns_names, registrar)
         self.dnssec_snapshot: Dict[str, tuple] = {}
         self.dnssec_snapshot_date: Optional[datetime.date] = None
+        # Diagnostic transport/scheduler counters for the run that built
+        # this dataset (a campaign.RunStats); deliberately excluded from
+        # __eq__ — serial, batched, and sharded runs produce equal
+        # datasets but different counter values.
+        self.run_stats = None
+        # True when this instance came from Dataset.load rather than a
+        # live campaign run (so run_stats describes the originating run,
+        # not the current invocation). Set by load(); not persisted.
+        self.loaded_from_cache = False
 
     def __eq__(self, other: object):
         if other.__class__ is not self.__class__:
@@ -200,6 +209,7 @@ class Dataset:
             dataset = pickle.load(handle)
         if not isinstance(dataset, cls):
             raise TypeError(f"{path} does not contain a Dataset")
+        dataset.loaded_from_cache = True
         return dataset
 
 

@@ -25,6 +25,13 @@ The hourly ECH rescan (§4.4.2) needs the *global* day snapshot to pick
 its targets (first ``ech_sample`` ECH-bearing apexes by name), so it
 runs as a second stage after the daily-scan merge, itself sharded by the
 same plan.
+
+``batch=True`` makes every worker resolve its slice through the batched
+resolution core (:class:`~repro.resolver.batch.BatchResolver`) instead
+of one blocking resolve at a time — batching inside a shard multiplies
+with process-level sharding, and the merged dataset stays equal either
+way. Worker transport counters (``Network.dns_query_count`` etc.) are
+summed across all stages into ``run_stats`` on the merged dataset.
 """
 
 from __future__ import annotations
@@ -40,10 +47,13 @@ from ..simnet.config import SimConfig
 from ..simnet.world import World
 from .campaign import (
     CampaignSchedule,
+    RunStats,
     build_schedule,
     ech_targets,
     ns_hostnames_of,
     run_scheduled,
+    scan_ech_hour,
+    scan_nameserver_set,
 )
 from .dataset import DailySnapshot, Dataset
 from .engine import ScanEngine
@@ -89,7 +99,8 @@ class ShardPlan:
 
 
 def _scan_shard(
-    config: SimConfig, schedule: CampaignSchedule, shards: int, index: int
+    config: SimConfig, schedule: CampaignSchedule, shards: int, index: int,
+    batch: bool = False,
 ) -> Dataset:
     """Stage 1: run the daily-scan schedule over one domain shard."""
     world = World(config)
@@ -100,28 +111,30 @@ def _scan_shard(
     # appear in every shard, so scanning them here would repeat the work
     # N times.
     quiet = dataclasses.replace(schedule, ech_days=())
-    return run_scheduled(world, quiet, names=names, scan_nameservers=False)
+    return run_scheduled(world, quiet, names=names, scan_nameservers=False, batch=batch)
 
 
 def _scan_ns_shard(
     config: SimConfig,
     day_hostnames: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
-) -> List[Tuple[datetime.date, str, NameServerObservation]]:
+    batch: bool = False,
+) -> Tuple[List[Tuple[datetime.date, str, NameServerObservation]], RunStats]:
     """Post-merge NS stage: resolve + WHOIS-attribute name servers."""
     world = World(config)
     engine = ScanEngine(world)
     results: List[Tuple[datetime.date, str, NameServerObservation]] = []
     for date, hostnames in sorted(day_hostnames):
         world.set_time(date)
-        for hostname in hostnames:
-            results.append((date, hostname, engine.scan_nameserver(hostname)))
-    return results
+        for hostname, observation in scan_nameserver_set(engine, hostnames, batch=batch):
+            results.append((date, hostname, observation))
+    return results, RunStats.of_world(world)
 
 
 def _scan_ech_shard(
     config: SimConfig,
     day_targets: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
-) -> List[EchObservation]:
+    batch: bool = False,
+) -> Tuple[List[EchObservation], RunStats]:
     """Stage 2: hourly ECH rescans for this shard's targets per day."""
     world = World(config)
     engine = ScanEngine(world)
@@ -131,11 +144,8 @@ def _scan_ech_shard(
         for hour in range(24):
             world.set_time(date, hour)
             absolute_hour = timeline.day_index(date) * 24 + hour
-            for name in names:
-                observation = engine.scan_ech(name, absolute_hour)
-                if observation is not None:
-                    observations.append(observation)
-    return observations
+            observations.extend(scan_ech_hour(engine, names, absolute_hour, batch=batch))
+    return observations, RunStats.of_world(world)
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +180,11 @@ def merge_shard_datasets(parts: Sequence[Dataset]) -> Dataset:
     merged.ech_observations = _canonical_ech_order(
         observation for part in parts for observation in part.ech_observations
     )
+    # Worker transport counters die with the worker processes unless the
+    # merge carries them over; sum whatever the parts recorded.
+    part_stats = [s for s in (getattr(p, "run_stats", None) for p in parts) if s is not None]
+    if part_stats:
+        merged.run_stats = sum(part_stats[1:], part_stats[0])
     dates = {p.dnssec_snapshot_date for p in parts if p.dnssec_snapshot_date is not None}
     if len(dates) > 1:
         raise DatasetMergeError(f"shards disagree on the DNSSEC snapshot day: {dates}")
@@ -219,12 +234,14 @@ class ParallelCampaignRunner:
         with_ech_hourly: bool = True,
         with_dnssec_snapshot: bool = True,
         executor: str = "process",
+        batch: bool = False,
     ):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor {executor!r}")
         self.config = config if config is not None else SimConfig()
         self.workers = max(1, int(workers))
         self.executor = executor
+        self.batch = bool(batch)
         self.schedule = build_schedule(
             day_step=day_step,
             start=start,
@@ -234,26 +251,38 @@ class ParallelCampaignRunner:
             with_dnssec_snapshot=with_dnssec_snapshot,
         )
         self.plan = ShardPlan(self.workers, self.config.seed)
+        # Filled by run(): transport/scheduler counters summed over every
+        # worker in every stage (they are otherwise lost at worker exit).
+        self.run_stats: Optional[RunStats] = None
 
     # -- public API --------------------------------------------------------
 
     def run(self, progress: Optional[Callable[[str], None]] = None) -> Dataset:
         if self.workers == 1:
-            return run_scheduled(World(self.config), self.schedule, progress=progress)
+            dataset = run_scheduled(
+                World(self.config), self.schedule, progress=progress, batch=self.batch
+            )
+            self.run_stats = dataset.run_stats
+            return dataset
         with self._pool() as pool:
             shards = self._gather(
                 pool,
                 [
-                    (_scan_shard, (self.config, self.schedule, self.workers, index))
+                    (_scan_shard, (self.config, self.schedule, self.workers, index, self.batch))
                     for index in range(self.workers)
                 ],
                 progress,
                 "daily scans",
             )
         dataset = merge_shard_datasets(shards)
-        self._run_ns_stage(dataset, progress)
+        stats = getattr(dataset, "run_stats", None) or RunStats()
+        stats = stats + self._run_ns_stage(dataset, progress)
         if self.schedule.ech_days:
-            self._run_ech_stage(dataset, progress)
+            stats = stats + self._run_ech_stage(dataset, progress)
+        dataset.run_stats = stats
+        self.run_stats = stats
+        if progress is not None:
+            progress(f"run summary: {stats.summary()}")
         return dataset
 
     # -- internals ---------------------------------------------------------
@@ -272,7 +301,7 @@ class ParallelCampaignRunner:
                 progress(f"{label}: shard {done}/{len(futures)} complete")
         return [future.result() for future in futures]
 
-    def _run_ns_stage(self, dataset: Dataset, progress) -> None:
+    def _run_ns_stage(self, dataset: Dataset, progress) -> RunStats:
         """Scan each NS-IP-window day's name servers once over the merged
         snapshots (stage 1 skips them — popular name servers appear in
         every shard and would be scanned N times), sharded by hostname."""
@@ -297,21 +326,24 @@ class ParallelCampaignRunner:
                 (date, tuple(hostnames))
                 for date, hostnames in sorted(day_hostnames.items())
             )
-            tasks.append((_scan_ns_shard, (self.config, frozen)))
+            tasks.append((_scan_ns_shard, (self.config, frozen, self.batch)))
         if not tasks:
-            return
+            return RunStats()
         with self._pool() as pool:
             results = self._gather(pool, tasks, progress, "NS-IP scans")
         by_day: Dict[datetime.date, Dict[str, NameServerObservation]] = {}
-        for result in results:
+        stage_stats = RunStats()
+        for result, stats in results:
+            stage_stats = stage_stats + stats
             for date, hostname, observation in result:
                 by_day.setdefault(date, {})[hostname] = observation
         for date, observations in by_day.items():
             dataset.snapshots[date].ns_observations = {
                 hostname: observations[hostname] for hostname in sorted(observations)
             }
+        return stage_stats
 
-    def _run_ech_stage(self, dataset: Dataset, progress) -> None:
+    def _run_ech_stage(self, dataset: Dataset, progress) -> RunStats:
         """Select hourly-rescan targets from the merged day snapshots
         (the same global rule the sequential runner applies), shard them
         by owner, and scan."""
@@ -331,11 +363,15 @@ class ParallelCampaignRunner:
             frozen = tuple(
                 (date, tuple(names)) for date, names in sorted(day_targets.items())
             )
-            tasks.append((_scan_ech_shard, (self.config, frozen)))
+            tasks.append((_scan_ech_shard, (self.config, frozen, self.batch)))
         if not tasks:
-            return
+            return RunStats()
         with self._pool() as pool:
             results = self._gather(pool, tasks, progress, "hourly ECH")
+        stage_stats = RunStats()
+        for _, stats in results:
+            stage_stats = stage_stats + stats
         dataset.ech_observations = _canonical_ech_order(
-            observation for result in results for observation in result
+            observation for result, _ in results for observation in result
         )
+        return stage_stats

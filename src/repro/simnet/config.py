@@ -76,6 +76,9 @@ class SimConfig:
 
     # -- scan mechanics -----------------------------------------------------------------------
     default_ttl: int = 300
+    # Negative/SERVFAIL cache TTL of the public resolvers (RFC 2308
+    # fallback when no SOA caps it); exposed for negative-cache ablations.
+    negative_ttl: int = 60
     wire_mode: bool = False  # route every DNS message through the wire codec
 
     @classmethod

@@ -379,6 +379,7 @@ class World:
             [ipspace.ROOT_SERVER_IP],
             self.clock,
             validator=ChainValidator(self.validator_source),
+            negative_ttl=self.config.negative_ttl,
         )
         self.cloudflare_resolver = RecursiveResolver(
             "cloudflare-public-dns",
@@ -386,6 +387,7 @@ class World:
             [ipspace.ROOT_SERVER_IP],
             self.clock,
             validator=ChainValidator(self.validator_source),
+            negative_ttl=self.config.negative_ttl,
         )
         self.network.register_dns(ipspace.GOOGLE_RESOLVER_IP, ResolverFrontend(self.google_resolver))
         self.network.register_dns(

@@ -1,0 +1,396 @@
+"""Tests for the batched resolution core.
+
+The load-bearing property mirrors the pipeline's: *equivalence*. Driving
+resolutions through the resumable state machine — serially or as an
+interleaved batch with coalescing — must produce the same answers,
+rcodes, AD bits, and post-run resolver cache contents as the blocking
+path, while coalescing measurably drops duplicate upstream queries.
+"""
+
+import datetime
+
+import pytest
+
+from repro.dnscore import rdtypes
+from repro.dnscore.names import Name
+from repro.resolver.batch import BatchResolver
+from repro.resolver.network import Network
+from repro.resolver.recursive import RecursiveResolver, Resolution, UpstreamQuery
+from repro.scanner import ParallelCampaignRunner, run_campaign
+from repro.simnet import SimConfig, World
+
+from test_resolver import build_internet
+
+
+def _view(response):
+    """The client-visible value of a response: rcode, AD, answer rrsets."""
+    return (
+        response.rcode,
+        response.authenticated_data,
+        [(rr.name, rr.rdtype, rr.ttl, [rd.to_text() for rd in rr]) for rr in response.answers],
+    )
+
+
+def _cache_view(resolver):
+    """Value view of a resolver's positive + delegation caches."""
+    answers = {
+        key: (entry.expiry, entry.rcode, entry.ad,
+              [(rr.name, rr.rdtype, [rd.to_text() for rd in rr]) for rr in entry.answers])
+        for key, entry in resolver._cache.items()
+    }
+    return answers, dict(resolver._delegation_cache)
+
+
+QUESTIONS = [
+    ("example.com.", rdtypes.HTTPS),
+    ("www.example.com.", rdtypes.A),
+    ("alias.example.com.", rdtypes.A),
+    ("example.com.", rdtypes.A),
+    ("missing.example.com.", rdtypes.A),
+    ("example.com.", rdtypes.HTTPS),  # duplicate: memo/attach territory
+    ("target.elsewhere.com.", rdtypes.A),
+]
+
+
+def _pairs():
+    return [(Name.from_text(text), rdtype) for text, rdtype in QUESTIONS]
+
+
+class TestResolutionStateMachine:
+    def test_yields_upstream_queries_and_completes(self):
+        network, _clock, resolver, _tree = build_internet()
+        resolution = resolver.resolution("example.com.", rdtypes.HTTPS)
+        request = resolution.start()
+        steps = 0
+        while request is not None:
+            assert isinstance(request, UpstreamQuery)
+            assert not resolution.done
+            reply = network.send_dns_query(request.ip, request.query)
+            request = resolution.step(reply)
+            steps += 1
+        assert resolution.done
+        assert steps >= 3  # root referral, TLD referral, authoritative answer
+        assert resolution.response.get_answer("example.com.", rdtypes.HTTPS) is not None
+
+    def test_manual_drive_equals_resolve(self):
+        _n1, _c1, manual, _t1 = build_internet()
+        _n2, _c2, direct, _t2 = build_internet()
+        resolution = manual.resolution("alias.example.com.", rdtypes.A)
+        request = resolution.start()
+        while request is not None:
+            request = resolution.step(manual.network.send_dns_query(request.ip, request.query))
+        assert _view(resolution.response) == _view(direct.resolve("alias.example.com.", rdtypes.A))
+
+    def test_cache_hit_completes_without_yielding(self):
+        _network, _clock, resolver, _tree = build_internet()
+        resolver.resolve("example.com.", rdtypes.HTTPS)
+        resolution = resolver.resolution("example.com.", rdtypes.HTTPS)
+        assert resolution.start() is None
+        assert resolution.done
+
+    def test_error_thrown_into_machine_triggers_failover(self):
+        network, _clock, resolver, _tree = build_internet()
+        from repro.resolver.network import HostUnreachable
+
+        resolution = resolver.resolution("example.com.", rdtypes.A)
+        request = resolution.start()
+        # Pretend the first server is down; the machine must try the next
+        # hop (or fail towards SERVFAIL) rather than crash.
+        request = resolution.step(error=HostUnreachable("injected"))
+        while request is not None:
+            request = resolution.step(network.send_dns_query(request.ip, request.query))
+        assert resolution.response.rcode in (rdtypes.NOERROR, rdtypes.SERVFAIL)
+
+
+class TestBatchEquivalence:
+    def test_answers_and_cache_state_match_serial(self):
+        _n1, _c1, serial_resolver, _t1 = build_internet()
+        n2, _c2, batch_resolver_inst, _t2 = build_internet()
+        serial_views = [
+            _view(serial_resolver.resolve(name, rdtype)) for name, rdtype in _pairs()
+        ]
+        scheduler = BatchResolver(n2)
+        batch_views = [
+            _view(response)
+            for response in scheduler.resolve_many(batch_resolver_inst, _pairs())
+        ]
+        assert batch_views == serial_views
+        assert _cache_view(batch_resolver_inst) == _cache_view(serial_resolver)
+
+    def test_cold_batch_query_overhead_is_bounded(self):
+        """Interleaving concurrent cold resolutions costs at most one
+        extra referral hop per job versus serial (whose first job warms
+        the delegation cache for the rest); a warm re-batch answers
+        entirely from the shared cache fills."""
+        n1, _c1, serial_resolver, _t1 = build_internet()
+        n2, _c2, batched, _t2 = build_internet()
+        for name, rdtype in _pairs():
+            serial_resolver.resolve(name, rdtype)
+        scheduler = BatchResolver(n2)
+        scheduler.resolve_many(batched, _pairs())
+        assert n2.dns_query_count <= n1.dns_query_count + len(QUESTIONS)
+        # Cache fills were shared: re-running the batch is free.
+        count = n2.dns_query_count
+        scheduler.resolve_many(batched, _pairs())
+        assert n2.dns_query_count == count
+
+    def test_coalesce_disabled_still_equivalent(self):
+        _n1, _c1, serial_resolver, _t1 = build_internet()
+        n2, _c2, batched, _t2 = build_internet()
+        serial_views = [
+            _view(serial_resolver.resolve(name, rdtype)) for name, rdtype in _pairs()
+        ]
+        scheduler = BatchResolver(n2, coalesce=False)
+        views = [_view(r) for r in scheduler.resolve_many(batched, _pairs())]
+        assert views == serial_views
+        assert scheduler.coalesced_queries == 0
+
+    def test_unreachable_world_servfails_whole_batch(self):
+        network, _clock, resolver, _tree = build_internet()
+        for ip in ("198.41.0.4", "192.5.6.30", "10.0.0.1", "10.0.0.2"):
+            network.set_unreachable(ip)
+        resolver.flush_cache()
+        responses = BatchResolver(network).resolve_many(resolver, _pairs())
+        assert all(r.rcode == rdtypes.SERVFAIL for r in responses)
+
+    def test_window_one_degenerates_to_serial(self):
+        n1, _c1, serial_resolver, _t1 = build_internet()
+        n2, _c2, batched, _t2 = build_internet()
+        for name, rdtype in _pairs():
+            serial_resolver.resolve(name, rdtype)
+        BatchResolver(n2, window=1).resolve_many(batched, _pairs())
+        assert n2.dns_query_count == n1.dns_query_count
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            BatchResolver(Network(), window=0)
+
+    def test_failover_batch_uses_backup_resolvers_own_network(self):
+        """A backup resolver on a different fabric must send its retry
+        batch over *its* network, exactly like serial failover does."""
+        from repro.resolver.stub import StubResolver
+
+        primary_net = Network()  # empty fabric: the primary SERVFAILs
+        primary = RecursiveResolver("broken", primary_net, ["203.0.113.99"])
+        backup_net, _clock, backup, _tree = build_internet()
+        stub = StubResolver([primary, backup])
+        responses = stub.query_batch([(Name.from_text("example.com."), rdtypes.HTTPS)])
+        assert responses[0].rcode == rdtypes.NOERROR
+        assert backup_net.dns_query_count > 0
+
+
+class TestCoalescing:
+    def _convergent_internet(self):
+        """Two zones delegated to the same *glueless* NS host, so two
+        concurrent resolutions converge on identical upstream queries."""
+        from repro.resolver.authoritative import AuthoritativeServer
+        from repro.zones.zone import Zone
+
+        network, clock, resolver, _tree = build_internet()
+        com_server = network.dns_server_at("192.5.6.30")
+        com = com_server.tree.zone_for(Name.from_text("one.com."))
+        # shared.com hosts the NS name, delegated WITH glue.
+        com.delegate(Name.from_text("shared.com."), [Name.from_text("ns1.sharedhost.com.")])
+        com.add_record("ns1.sharedhost.com.", "A", "10.0.0.50")
+        shared = Zone(Name.from_text("shared.com."))
+        shared.ensure_soa()
+        shared.add_record("ns.shared.com.", "A", "10.0.0.60")
+        shared_server = AuthoritativeServer("shared")
+        shared_server.tree.add_zone(shared)
+        network.register_dns("10.0.0.50", shared_server)
+        # one.com / two.com are delegated to ns.shared.com with NO glue:
+        # resolving either first requires chasing ns.shared.com's address.
+        leaf_server = AuthoritativeServer("leaves")
+        for apex in ("one.com.", "two.com."):
+            com.delegate(Name.from_text(apex), [Name.from_text("ns.shared.com.")])
+            zone = Zone(Name.from_text(apex))
+            zone.ensure_soa()
+            zone.add_record(apex, "A", "10.0.1.9")
+            leaf_server.tree.add_zone(zone)
+        network.register_dns("10.0.0.60", leaf_server)
+        return network, clock, resolver
+
+    def test_glueless_chases_coalesce(self):
+        serial_net, _sc, serial_resolver = self._convergent_internet()
+        batch_net, _bc, batched = self._convergent_internet()
+        pairs = [(Name.from_text("one.com."), rdtypes.A), (Name.from_text("two.com."), rdtypes.A)]
+        serial_views = [_view(serial_resolver.resolve(n, t)) for n, t in pairs]
+        scheduler = BatchResolver(batch_net)
+        batch_views = [_view(r) for r in scheduler.resolve_many(batched, pairs)]
+        assert batch_views == serial_views
+        assert serial_views[0][2], "scenario must actually resolve"
+        assert scheduler.coalesced_queries > 0
+        assert batch_net.dns_query_count <= serial_net.dns_query_count
+
+    def test_duplicate_jobs_attach_or_memoise(self):
+        network, _clock, resolver, _tree = build_internet()
+        resolver.cache_enabled = False  # no resolver cache to hide behind
+        pairs = [(Name.from_text("example.com."), rdtypes.A)] * 4
+        scheduler = BatchResolver(network)
+        responses = scheduler.resolve_many(resolver, pairs)
+        assert len({_view(r)[0] for r in responses}) == 1
+        assert [_view(r) for r in responses[1:]] == [_view(responses[0])] * 3
+        # One machine resolved; the other three jobs rode along.
+        assert scheduler.attached_jobs + scheduler.memo_hits == 3
+
+    def test_stats_accumulate_across_batches(self):
+        network, _clock, resolver, _tree = build_internet()
+        scheduler = BatchResolver(network)
+        scheduler.resolve_many(resolver, _pairs())
+        first_jobs = scheduler.jobs_run
+        scheduler.resolve_many(resolver, _pairs())
+        assert scheduler.batches_run == 2
+        assert scheduler.jobs_run == first_jobs * 2
+
+
+class _RecordingNetwork:
+    """Pass-through transport that logs every (ip, qname, qtype) sent."""
+
+    def __init__(self, network):
+        self._network = network
+        self.log = []
+
+    def send_dns_query(self, ip, query):
+        question = query.questions[0]
+        self.log.append((ip, question.name, question.rdtype))
+        return self._network.send_dns_query(ip, query)
+
+
+class TestServerSelectionUnchanged:
+    def test_batched_upstream_sequence_matches_serial(self):
+        """The deterministic per-(resolver, qname, day) server selection
+        must be untouched by the scheduler: a batched resolution walks
+        exactly the serial path's upstream (ip, qname, qtype) sequence."""
+        n1, _c1, serial_resolver, _t1 = build_internet()
+        n2, _c2, batched, _t2 = build_internet()
+        serial_recorder = _RecordingNetwork(n1)
+        serial_resolver.network = serial_recorder
+        batch_recorder = _RecordingNetwork(n2)
+        batched.network = batch_recorder  # batch routes via the resolver's network
+        for qname in ("example.com.", "alias.example.com.", "www.example.com."):
+            serial_recorder.log.clear()
+            serial_resolver.resolve(qname, rdtypes.A)
+            batch_recorder.log.clear()
+            BatchResolver(n2).resolve_many(
+                batched, [(Name.from_text(qname), rdtypes.A)]
+            )
+            assert batch_recorder.log == serial_recorder.log
+
+
+class TestScanEngineBatched:
+    def test_scan_names_equals_scan_name(self, world):
+        from repro.scanner import ScanEngine
+
+        engine = ScanEngine(world)
+        items = []
+        for profile in world.profiles[:25]:
+            items.append((profile.apex, "apex"))
+            items.append((profile.www, "www"))
+        serial = [engine.scan_name(name, kind) for name, kind in items]
+        batched = engine.scan_names(items)
+        assert batched == serial
+
+    def test_scan_nameservers_equals_scan_nameserver(self, world):
+        from repro.scanner import ScanEngine
+
+        engine = ScanEngine(world)
+        hostnames = ["alice.ns.cloudflare.com", "ns1.googledomains.com",
+                     "ns1.does-not-exist-zone.example"]
+        serial = [engine.scan_nameserver(h) for h in hostnames]
+        assert engine.scan_nameservers(hostnames) == serial
+
+
+class TestNegativeTtlConfig:
+    def test_resolver_honours_negative_ttl(self):
+        network, clock, resolver, _tree = build_internet()
+        resolver.negative_ttl = 5
+        # NODATA answer with no SOA floor below negative_ttl: craft by
+        # querying a name whose zone returns NODATA; SOA minimum caps it,
+        # so exercise the bogus/SERVFAIL path instead, which always uses
+        # negative_ttl.
+        _n, _c, signed_resolver, tree = build_internet(sign=True)
+        signed_resolver.negative_ttl = 5
+        zone = tree.get_zone(Name.from_text("example.com."))
+        zone.corrupt_signature(Name.from_text("example.com."), rdtypes.HTTPS)
+        assert signed_resolver.resolve("example.com.", rdtypes.HTTPS).rcode == rdtypes.SERVFAIL
+        count = signed_resolver.network.dns_query_count
+        # Within the negative TTL the SERVFAIL is served from cache...
+        assert signed_resolver.resolve("example.com.", rdtypes.HTTPS).rcode == rdtypes.SERVFAIL
+        assert signed_resolver.network.dns_query_count == count
+        # ...and once it lapses the resolver re-queries upstream.
+        signed_resolver.clock.advance(6)
+        signed_resolver.resolve("example.com.", rdtypes.HTTPS)
+        assert signed_resolver.network.dns_query_count > count
+
+    def test_simconfig_threads_negative_ttl_to_world_resolvers(self):
+        world = World(SimConfig(population=30, negative_ttl=123))
+        assert world.google_resolver.negative_ttl == 123
+        assert world.cloudflare_resolver.negative_ttl == 123
+
+    def test_default_matches_previous_constant(self):
+        assert SimConfig().negative_ttl == 60
+        network = Network()
+        assert RecursiveResolver("r", network, []).negative_ttl == 60
+
+
+class TestCampaignEquivalence:
+    """Batched scanning must reproduce the serial campaign dataset
+    value-for-value (the PR 1 equality machinery does the comparison)."""
+
+    CONFIG = SimConfig(population=150)
+    ECH_KWARGS = dict(
+        day_step=7,
+        start=datetime.date(2023, 7, 14),
+        end=datetime.date(2023, 7, 31),
+        ech_sample=5,
+    )
+    LATE_KWARGS = dict(
+        day_step=14,
+        start=datetime.date(2023, 12, 20),
+        end=datetime.date(2024, 2, 5),
+        with_ech_hourly=False,
+    )
+
+    @pytest.fixture(scope="class")
+    def ech_week_pair(self):
+        serial = run_campaign(World(self.CONFIG), **self.ECH_KWARGS)
+        batched = run_campaign(World(self.CONFIG), batch=True, **self.ECH_KWARGS)
+        return serial, batched
+
+    def test_full_dataset_equal(self, ech_week_pair):
+        serial, batched = ech_week_pair
+        assert serial.ech_observations, "window must exercise the hourly scan"
+        assert batched == serial
+
+    def test_snapshot_iteration_order_matches(self, ech_week_pair):
+        serial, batched = ech_week_pair
+        for day in serial.days():
+            assert list(batched.snapshots[day].apex) == list(serial.snapshots[day].apex)
+            assert list(batched.snapshots[day].www) == list(serial.snapshots[day].www)
+
+    def test_batched_run_reports_stats(self, ech_week_pair):
+        serial, batched = ech_week_pair
+        assert serial.run_stats.dns_queries > 0
+        assert serial.run_stats.batch_jobs == 0
+        assert batched.run_stats.batch_jobs > 0
+        assert batched.run_stats.dns_queries > 0
+
+    def test_late_window_equal(self):
+        serial = run_campaign(World(self.CONFIG), **self.LATE_KWARGS)
+        batched = run_campaign(World(self.CONFIG), batch=True, **self.LATE_KWARGS)
+        assert serial.dnssec_snapshot, "window must cover the DNSSEC snapshot"
+        assert any(s.connectivity for s in serial.snapshots.values())
+        assert batched == serial
+
+    def test_pipeline_batched_workers_equal_serial(self):
+        serial = run_campaign(World(self.CONFIG), **self.ECH_KWARGS)
+        runner = ParallelCampaignRunner(
+            self.CONFIG, workers=3, executor="thread", batch=True, **self.ECH_KWARGS
+        )
+        batched = runner.run()
+        assert batched == serial
+        # Satellite: worker counters survive into the merged run summary.
+        assert runner.run_stats is not None
+        assert runner.run_stats.dns_queries > 0
+        assert runner.run_stats.batch_jobs > 0
+        assert batched.run_stats is runner.run_stats
