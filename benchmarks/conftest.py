@@ -8,8 +8,10 @@ against that dataset and emits a paper-vs-measured comparison under
 Environment knobs: ``REPRO_POPULATION`` (default 6000), ``REPRO_DAY_STEP``
 (default 7), ``REPRO_WORKERS`` (default 1 — set >1 to build the dataset
 through the sharded pipeline), ``REPRO_BATCH`` (default 0 — set to 1 to
-resolve scans through the batched resolution core). The dataset is
-identical under every knob combination.
+resolve scans through the batched resolution core), ``REPRO_SNAPSHOT``
+(default 0 — set to 1 to warm worker worlds from the on-disk world
+snapshot cache under ``.cache/worlds`` instead of rebuilding them). The
+dataset is identical under every knob combination.
 """
 
 from __future__ import annotations
@@ -25,7 +27,9 @@ BENCH_POPULATION = int(os.environ.get("REPRO_POPULATION", "6000"))
 BENCH_DAY_STEP = int(os.environ.get("REPRO_DAY_STEP", "7"))
 BENCH_WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
 BENCH_BATCH = os.environ.get("REPRO_BATCH", "0").lower() in ("1", "true", "yes", "on")
+BENCH_SNAPSHOT = os.environ.get("REPRO_SNAPSHOT", "0").lower() in ("1", "true", "yes", "on")
 CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".cache")
+SNAPSHOT_DIR = os.path.join(CACHE_DIR, "worlds") if BENCH_SNAPSHOT else None
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
 
 
@@ -42,6 +46,7 @@ def bench_dataset(bench_config):
         cache_dir=CACHE_DIR,
         workers=BENCH_WORKERS,
         batch=BENCH_BATCH,
+        snapshot_dir=SNAPSHOT_DIR,
     )
 
 

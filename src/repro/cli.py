@@ -89,6 +89,14 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
                              "batch with in-flight query coalescing "
                              "(--no-batch for one blocking resolve at a time; "
                              "same dataset either way)")
+    parser.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                        help="directory for the world snapshot cache, so "
+                             "pipeline workers deserialize a pre-built signed "
+                             "world instead of reconstructing it "
+                             "(default: <cache-dir>/worlds)")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="disable the world snapshot cache (every worker "
+                             "rebuilds its world from scratch)")
     parser.add_argument("--export", metavar="DIR", help="write figure CSVs to DIR")
     parser.add_argument("--cache-dir", default=".cache")
     args = parser.parse_args(argv)
@@ -97,6 +105,12 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
     from .reporting import render_comparison
     from .scanner import load_or_run_campaign
 
+    import os
+
+    snapshot_dir = None
+    if not args.no_snapshot:
+        snapshot_dir = args.snapshot_dir or os.path.join(args.cache_dir, "worlds")
+
     config = SimConfig(population=args.population)
     dataset = load_or_run_campaign(
         config,
@@ -104,6 +118,7 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
         workers=args.workers,
         batch=args.batch,
+        snapshot_dir=snapshot_dir,
         ech_sample=args.ech_sample,
     )
     summary = adoption.summarize(dataset)

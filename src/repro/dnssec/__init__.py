@@ -15,7 +15,14 @@ from .keys import (
     ds_matches_dnskey,
     verify_blob,
 )
-from .signing import DEFAULT_VALIDITY, rrsig_is_timely, sign_rrset, signing_input
+from .signing import (
+    DEFAULT_VALIDITY,
+    SignatureMemo,
+    rrsig_is_timely,
+    sign_rrset,
+    signature_memo,
+    signing_input,
+)
 from .validation import (
     ChainValidator,
     RecordSource,
@@ -32,8 +39,10 @@ __all__ = [
     "ds_matches_dnskey",
     "verify_blob",
     "DEFAULT_VALIDITY",
+    "SignatureMemo",
     "rrsig_is_timely",
     "sign_rrset",
+    "signature_memo",
     "signing_input",
     "ChainValidator",
     "RecordSource",

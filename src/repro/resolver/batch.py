@@ -34,43 +34,18 @@ upstream queries hit the wire, never what anything resolves to.
 
 from __future__ import annotations
 
-import gc
-import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dnscore.message import Message
 from ..dnscore.names import Name
+from ..gcutils import pause_gc as _pause_gc
+from ..gcutils import resume_gc as _resume_gc
 from .network import HostUnreachable, Network
 from .recursive import RecursiveResolver, Resolution
 
 # In-flight resolutions per batch. Wide enough to overlap and coalesce
 # real work; the warmup round keeps the cold-start referral cost flat.
 DEFAULT_WINDOW = 24
-
-# gc.disable()/gc.enable() is process-global, and batches may overlap
-# across threads (the pipeline's thread executor); refcount the pause so
-# one batch finishing cannot re-enable collection under another.
-_GC_PAUSE_LOCK = threading.Lock()
-_GC_PAUSE_DEPTH = 0
-_GC_WAS_ENABLED = False
-
-
-def _pause_gc() -> None:
-    global _GC_PAUSE_DEPTH, _GC_WAS_ENABLED
-    with _GC_PAUSE_LOCK:
-        if _GC_PAUSE_DEPTH == 0:
-            _GC_WAS_ENABLED = gc.isenabled()
-            if _GC_WAS_ENABLED:
-                gc.disable()
-        _GC_PAUSE_DEPTH += 1
-
-
-def _resume_gc() -> None:
-    global _GC_PAUSE_DEPTH
-    with _GC_PAUSE_LOCK:
-        _GC_PAUSE_DEPTH -= 1
-        if _GC_PAUSE_DEPTH == 0 and _GC_WAS_ENABLED:
-            gc.enable()
 
 
 class _Job:

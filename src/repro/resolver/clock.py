@@ -23,5 +23,14 @@ class SimClock:
             raise ValueError("time cannot go backwards")
         self._now = float(now)
 
+    def rewind(self, now: float) -> None:
+        """Reset the clock to an earlier instant.
+
+        Only for world reuse (:meth:`~repro.simnet.world.World.reset`):
+        every consumer's time-derived cache must be flushed alongside, or
+        entries stamped in the "future" would satisfy lookups after the
+        rewind. Normal simulation time is monotonic via :meth:`set`."""
+        self._now = float(now)
+
     def __repr__(self) -> str:
         return f"SimClock({self._now})"

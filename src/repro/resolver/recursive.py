@@ -173,6 +173,15 @@ class RecursiveResolver:
         self._cache.clear()
         self._delegation_cache.clear()
 
+    def reset(self) -> None:
+        """Forget everything accumulated since construction (caches and
+        the message-id counter) so a reused resolver behaves bit-for-bit
+        like a freshly built one. Used by world reuse
+        (:meth:`~repro.simnet.world.World.reset`), where the clock also
+        rewinds — cached entries would otherwise carry future expiries."""
+        self.flush_cache()
+        self._msg_id = 0
+
     # -- internals -----------------------------------------------------------------
 
     def _next_id(self) -> int:

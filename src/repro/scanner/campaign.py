@@ -458,16 +458,19 @@ def load_or_run_campaign(
     verbose: bool = False,
     workers: int = 1,
     batch: bool = False,
+    snapshot_dir: Optional[str] = None,
     **kwargs,
 ) -> Dataset:
     """Return a cached dataset for (config, day_step) or run the campaign.
 
     ``workers > 1`` shards the campaign across processes via
     :class:`~repro.scanner.pipeline.ParallelCampaignRunner`; ``batch``
-    resolves each shard's scans through the batched resolution core.
-    Both knobs produce datasets equal to the sequential serial run, so
-    they deliberately stay out of the cache key (any combination can
-    reuse the same dataset).
+    resolves each shard's scans through the batched resolution core;
+    ``snapshot_dir`` serves each worker's world from the on-disk world
+    snapshot cache (:mod:`~repro.simnet.snapshot`) instead of rebuilding
+    it. All three knobs produce datasets equal to the sequential serial
+    run, so they deliberately stay out of the cache key (any combination
+    can reuse the same dataset).
     """
     config = config if config is not None else SimConfig.from_env()
     # The cache key covers every campaign kwarg (canonically) and every
@@ -483,13 +486,27 @@ def load_or_run_campaign(
         from .pipeline import ParallelCampaignRunner
 
         runner = ParallelCampaignRunner(
-            config, workers=workers, day_step=day_step, batch=batch, **kwargs
+            config, workers=workers, day_step=day_step, batch=batch,
+            snapshot_dir=snapshot_dir, **kwargs
         )
         dataset = runner.run(progress=progress)
+    elif snapshot_dir is not None:
+        # Warm-up through the snapshot cache + registry; the world is
+        # parked for reuse by later runs in this process.
+        from ..simnet.snapshot import checkin_world, checkout_world
+
+        world = checkout_world(config, snapshot_dir)
+        try:
+            dataset = run_campaign(
+                world, day_step=day_step, progress=progress, batch=batch, **kwargs
+            )
+        finally:
+            checkin_world(world)
     else:
-        world = World(config)
+        # No snapshotting requested: build a throwaway world (pooling it
+        # would pin one world per config tag for the process lifetime).
         dataset = run_campaign(
-            world, day_step=day_step, progress=progress, batch=batch, **kwargs
+            World(config), day_step=day_step, progress=progress, batch=batch, **kwargs
         )
     try:
         dataset.save(path)

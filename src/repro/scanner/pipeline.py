@@ -32,6 +32,17 @@ of one blocking resolve at a time — batching inside a shard multiplies
 with process-level sharding, and the merged dataset stays equal either
 way. Worker transport counters (``Network.dns_query_count`` etc.) are
 summed across all stages into ``run_stats`` on the merged dataset.
+
+Worker warm-up goes through the world snapshot cache
+(:mod:`~repro.simnet.snapshot`): every task checks a world out of the
+in-process registry and checks it back in (reset) when done, so
+thread-mode tasks and reused pool processes share built worlds instead
+of reconstructing them. With ``snapshot_dir`` set, the parent
+additionally materialises an on-disk snapshot *before* spawning process
+workers, so each worker process deserializes the fully signed world
+(~an order of magnitude cheaper than building it) instead of re-running
+construction and zone signing. Both paths are value-equality-preserving:
+a loaded or reused world answers bit-for-bit like a fresh one.
 """
 
 from __future__ import annotations
@@ -44,6 +55,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..simnet import timeline
 from ..simnet.config import SimConfig
+from ..simnet.snapshot import checkin_world, checkout_world, ensure_world_snapshot
 from ..simnet.world import World
 from .campaign import (
     CampaignSchedule,
@@ -100,52 +112,69 @@ class ShardPlan:
 
 def _scan_shard(
     config: SimConfig, schedule: CampaignSchedule, shards: int, index: int,
-    batch: bool = False,
+    batch: bool = False, snapshot_dir: Optional[str] = None,
 ) -> Dataset:
     """Stage 1: run the daily-scan schedule over one domain shard."""
-    world = World(config)
-    plan = ShardPlan(shards, config.seed)
-    names = {p.name for p in world.profiles if plan.shard_of(p.name) == index}
-    # Hourly ECH and the NS-IP scan run post-merge: the former needs the
-    # merged day snapshot to pick targets, and popular name servers
-    # appear in every shard, so scanning them here would repeat the work
-    # N times.
-    quiet = dataclasses.replace(schedule, ech_days=())
-    return run_scheduled(world, quiet, names=names, scan_nameservers=False, batch=batch)
+    world = checkout_world(config, snapshot_dir)
+    try:
+        plan = ShardPlan(shards, config.seed)
+        names = {p.name for p in world.profiles if plan.shard_of(p.name) == index}
+        # Hourly ECH and the NS-IP scan run post-merge: the former needs the
+        # merged day snapshot to pick targets, and popular name servers
+        # appear in every shard, so scanning them here would repeat the work
+        # N times.
+        quiet = dataclasses.replace(schedule, ech_days=())
+        return run_scheduled(
+            world, quiet, names=names, scan_nameservers=False, batch=batch
+        )
+    finally:
+        checkin_world(world)
 
 
 def _scan_ns_shard(
     config: SimConfig,
     day_hostnames: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
     batch: bool = False,
+    snapshot_dir: Optional[str] = None,
 ) -> Tuple[List[Tuple[datetime.date, str, NameServerObservation]], RunStats]:
     """Post-merge NS stage: resolve + WHOIS-attribute name servers."""
-    world = World(config)
-    engine = ScanEngine(world)
-    results: List[Tuple[datetime.date, str, NameServerObservation]] = []
-    for date, hostnames in sorted(day_hostnames):
-        world.set_time(date)
-        for hostname, observation in scan_nameserver_set(engine, hostnames, batch=batch):
-            results.append((date, hostname, observation))
-    return results, RunStats.of_world(world)
+    world = checkout_world(config, snapshot_dir)
+    try:
+        engine = ScanEngine(world)
+        results: List[Tuple[datetime.date, str, NameServerObservation]] = []
+        for date, hostnames in sorted(day_hostnames):
+            world.set_time(date)
+            for hostname, observation in scan_nameserver_set(
+                engine, hostnames, batch=batch
+            ):
+                results.append((date, hostname, observation))
+        return results, RunStats.of_world(world)
+    finally:
+        checkin_world(world)
 
 
 def _scan_ech_shard(
     config: SimConfig,
     day_targets: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
     batch: bool = False,
+    snapshot_dir: Optional[str] = None,
 ) -> Tuple[List[EchObservation], RunStats]:
     """Stage 2: hourly ECH rescans for this shard's targets per day."""
-    world = World(config)
-    engine = ScanEngine(world)
-    observations: List[EchObservation] = []
-    for date, targets in sorted(day_targets):
-        names = [world.profile_by_name(t).apex for t in targets]
-        for hour in range(24):
-            world.set_time(date, hour)
-            absolute_hour = timeline.day_index(date) * 24 + hour
-            observations.extend(scan_ech_hour(engine, names, absolute_hour, batch=batch))
-    return observations, RunStats.of_world(world)
+    world = checkout_world(config, snapshot_dir)
+    try:
+        engine = ScanEngine(world)
+        observations: List[EchObservation] = []
+        for date, targets in sorted(day_targets):
+            names = [world.profile_by_name(t).apex for t in targets]
+            for hour in range(24):
+                world.set_time(date, hour)
+                absolute_hour = timeline.day_index(date) * 24 + hour
+                observations.extend(
+                    scan_ech_hour(engine, names, absolute_hour, batch=batch)
+                )
+        return observations, RunStats.of_world(world)
+    finally:
+        checkin_world(world)
 
 
 # ---------------------------------------------------------------------------
@@ -220,7 +249,11 @@ class ParallelCampaignRunner:
     Produces a :class:`Dataset` equal to ``run_campaign`` on the same
     config (see module docstring for why). ``executor='thread'`` swaps
     in a thread pool — no speedup under the GIL, but handy for tests and
-    debugging since it avoids pickling through process boundaries.
+    debugging since it avoids pickling through process boundaries;
+    thread-mode tasks reuse pooled worlds from the in-process snapshot
+    registry instead of each building their own. ``snapshot_dir`` adds
+    the on-disk world snapshot so process workers deserialize their
+    world instead of rebuilding it.
     """
 
     def __init__(
@@ -235,6 +268,7 @@ class ParallelCampaignRunner:
         with_dnssec_snapshot: bool = True,
         executor: str = "process",
         batch: bool = False,
+        snapshot_dir: Optional[str] = None,
     ):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -242,6 +276,7 @@ class ParallelCampaignRunner:
         self.workers = max(1, int(workers))
         self.executor = executor
         self.batch = bool(batch)
+        self.snapshot_dir = snapshot_dir
         self.schedule = build_schedule(
             day_step=day_step,
             start=start,
@@ -259,16 +294,43 @@ class ParallelCampaignRunner:
 
     def run(self, progress: Optional[Callable[[str], None]] = None) -> Dataset:
         if self.workers == 1:
-            dataset = run_scheduled(
-                World(self.config), self.schedule, progress=progress, batch=self.batch
-            )
+            if self.snapshot_dir is not None:
+                world = checkout_world(self.config, self.snapshot_dir)
+                try:
+                    dataset = run_scheduled(
+                        world, self.schedule, progress=progress, batch=self.batch
+                    )
+                finally:
+                    checkin_world(world)
+            else:
+                # No reuse requested: a throwaway world, not a pooled one
+                # (pooling would pin it for the process lifetime).
+                dataset = run_scheduled(
+                    World(self.config), self.schedule,
+                    progress=progress, batch=self.batch,
+                )
             self.run_stats = dataset.run_stats
             return dataset
+        if self.snapshot_dir is not None:
+            # Build (and sign) the world exactly once, up front: process
+            # workers deserialize the snapshot instead of repeating
+            # construction, and concurrent thread workers load it too
+            # (the registry pool only has the parent's single world, so
+            # without the file the rest would each build their own).
+            ensure_world_snapshot(self.config, self.snapshot_dir)
+            if progress is not None:
+                progress(f"world snapshot ready under {self.snapshot_dir}")
         with self._pool() as pool:
             shards = self._gather(
                 pool,
                 [
-                    (_scan_shard, (self.config, self.schedule, self.workers, index, self.batch))
+                    (
+                        _scan_shard,
+                        (
+                            self.config, self.schedule, self.workers, index,
+                            self.batch, self.snapshot_dir,
+                        ),
+                    )
                     for index in range(self.workers)
                 ],
                 progress,
@@ -326,7 +388,9 @@ class ParallelCampaignRunner:
                 (date, tuple(hostnames))
                 for date, hostnames in sorted(day_hostnames.items())
             )
-            tasks.append((_scan_ns_shard, (self.config, frozen, self.batch)))
+            tasks.append(
+                (_scan_ns_shard, (self.config, frozen, self.batch, self.snapshot_dir))
+            )
         if not tasks:
             return RunStats()
         with self._pool() as pool:
@@ -363,7 +427,9 @@ class ParallelCampaignRunner:
             frozen = tuple(
                 (date, tuple(names)) for date, names in sorted(day_targets.items())
             )
-            tasks.append((_scan_ech_shard, (self.config, frozen, self.batch)))
+            tasks.append(
+                (_scan_ech_shard, (self.config, frozen, self.batch, self.snapshot_dir))
+            )
         if not tasks:
             return RunStats()
         with self._pool() as pool:

@@ -1,0 +1,307 @@
+"""World snapshot cache: built-and-signed worlds, reusable across
+processes and tasks.
+
+A :class:`~repro.simnet.world.World` is a deterministic function of its
+:class:`~repro.simnet.config.SimConfig` (population profiles, provider
+catalogue, zone tree, DNSSEC keysets and signatures, ECH key schedule,
+Tranco membership), so building it is pure warm-up cost — and the
+sharded pipeline (:mod:`~repro.scanner.pipeline`) pays it once per
+worker task. This module removes that redundancy at two levels:
+
+* **On-disk snapshots** — :func:`save_world_snapshot` pickles a
+  *pristine* world (reset to the study start) into a versioned,
+  integrity-checked file keyed by the same canonical config tag the
+  campaign dataset cache uses (``repr(dataclasses.astuple(config))``,
+  hashed). :func:`load_world_snapshot` verifies magic, format version,
+  config tag, and a SHA-256 payload digest before unpickling; any
+  mismatch raises :class:`SnapshotError` and the caller rebuilds (and
+  rewrites) — a stale or corrupt snapshot can never serve quietly.
+
+* **An in-process registry** — :class:`WorldRegistry` keeps a small
+  pool of idle worlds per config tag with checkout/checkin semantics.
+  A checked-in world is :meth:`~repro.simnet.world.World.reset` (clock
+  rewound, time-stamped caches flushed) so the next checkout behaves
+  bit-for-bit like a fresh build. Thread-mode pipeline tasks and the
+  pipeline's sequential post-merge stages draw from this pool instead
+  of deserializing (or rebuilding) per task; checkout is exclusive, so
+  concurrent tasks never share a world object.
+
+Construction and deserialization both run under a cyclic-GC pause
+(:mod:`repro.gcutils`): the world is an immortal object graph, and
+full-heap collection passes triggered by its allocation churn dominate
+warm-up timings otherwise.
+
+Equivalence guarantee: snapshots are written only in the pristine state,
+the pickled graph contains no wall-clock, filesystem, or RNG handles,
+and every derived cache inside it is a pure function of (config, time)
+— so a loaded (or reused) world produces datasets value-equal to a
+freshly built one. ``tests/test_snapshot.py`` locks this in for the
+daily, NS, ECH, and DNSSEC stages.
+
+Snapshots do not survive code changes: the header records a fingerprint
+of the ``repro`` package source alongside :data:`SNAPSHOT_VERSION`, so
+a snapshot written by different code — even a change that unpickles
+cleanly but would generate a different world — is rejected and rebuilt
+(worlds rebuild in well under a second; staleness is never worth it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import threading
+from typing import Dict, List, Optional
+
+from ..gcutils import paused_gc
+from .config import SimConfig
+from .world import World
+
+# Bump whenever the on-disk layout (this header) or the pickled object
+# graph changes shape; readers reject other versions.
+SNAPSHOT_VERSION = 1
+
+_MAGIC = b"repro-world-snapshot"
+_PICKLE_PROTOCOL = 4
+
+
+class SnapshotError(Exception):
+    """A snapshot file is missing, stale, corrupt, or mismatched."""
+
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Fingerprint of the ``repro`` package source (cached per process).
+
+    Folded into every snapshot header so snapshots written by different
+    code are rejected outright — the config tag cannot see code changes
+    that alter world generation without touching ``SimConfig``. Returns
+    ``""`` (matching everything) when the source is unreadable, e.g. a
+    zipped install."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        try:
+            for dirpath, dirnames, filenames in os.walk(package_root):
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    digest.update(os.path.relpath(path, package_root).encode())
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+            _CODE_FINGERPRINT = digest.hexdigest()[:16]
+        except OSError:  # pragma: no cover - unreadable source tree
+            _CODE_FINGERPRINT = ""
+    return _CODE_FINGERPRINT
+
+
+def world_tag(config: SimConfig) -> str:
+    """Canonical cache tag for *config* — the config component of the
+    campaign dataset cache key (every field participates, so any knob
+    change keys a different snapshot)."""
+    blob = repr(dataclasses.astuple(config)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def snapshot_path(snapshot_dir: str, config: SimConfig) -> str:
+    return os.path.join(
+        snapshot_dir, f"world_{config.population}_{world_tag(config)}.snap"
+    )
+
+
+def save_world_snapshot(world: World, snapshot_dir: str) -> str:
+    """Write *world* as a snapshot (resetting it to pristine first) and
+    return the path. The write is atomic (temp file + rename), so a
+    concurrent reader sees either the old snapshot or the new one."""
+    world.reset()
+    payload = pickle.dumps(world, protocol=_PICKLE_PROTOCOL)
+    record = {
+        "magic": _MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "code": code_fingerprint(),
+        "tag": world_tag(world.config),
+        "digest": hashlib.sha256(payload).hexdigest(),
+        "payload": payload,
+    }
+    path = snapshot_path(snapshot_dir, world.config)
+    os.makedirs(snapshot_dir, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(record, handle, protocol=_PICKLE_PROTOCOL)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - failed mid-write
+            os.unlink(tmp)
+    return path
+
+
+def load_world_snapshot(config: SimConfig, snapshot_dir: str) -> World:
+    """Load the snapshot for *config*, verifying version, tag, and
+    payload integrity. Raises :class:`SnapshotError` on any problem —
+    callers fall back to building (and rewriting) a fresh world."""
+    path = snapshot_path(snapshot_dir, config)
+    try:
+        with open(path, "rb") as handle:
+            record = pickle.load(handle)
+    except FileNotFoundError:
+        raise SnapshotError(f"no snapshot at {path}") from None
+    except Exception as exc:  # truncated/garbled header or payload
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+    if not isinstance(record, dict) or record.get("magic") != _MAGIC:
+        raise SnapshotError(f"{path} is not a world snapshot")
+    if record.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path} has snapshot version {record.get('version')!r}, "
+            f"expected {SNAPSHOT_VERSION}"
+        )
+    if record.get("code") != code_fingerprint():
+        raise SnapshotError(f"{path} was written by different repro code (stale)")
+    if record.get("tag") != world_tag(config):
+        raise SnapshotError(f"{path} was built for a different config")
+    payload = record.get("payload")
+    if not isinstance(payload, bytes) or (
+        hashlib.sha256(payload).hexdigest() != record.get("digest")
+    ):
+        raise SnapshotError(f"{path} failed its integrity check")
+    try:
+        with paused_gc():
+            world = pickle.loads(payload)
+    except Exception as exc:  # payload from incompatible code
+        raise SnapshotError(f"cannot deserialize {path}: {exc}") from exc
+    if not isinstance(world, World):
+        raise SnapshotError(f"{path} does not contain a World")
+    return world
+
+
+class WorldRegistry:
+    """In-process pool of reusable worlds, keyed by config tag.
+
+    ``checkout`` hands out an *exclusively owned* world: an idle pooled
+    one when available (already reset), else a snapshot load from
+    *snapshot_dir*, else a fresh build (which is then snapshotted so
+    sibling processes hit the disk cache). ``checkin`` resets the world
+    and parks it for the next checkout. Thread-safe; the pool never
+    hands the same object to two concurrent holders.
+
+    Pooled worlds live until process exit (or :meth:`clear`), capped at
+    ``max_idle_per_tag`` per config. Callers that do not want a world
+    pinned — one-shot sequential runs — should build a throwaway
+    :class:`World` directly instead of going through the registry.
+    """
+
+    def __init__(self, max_idle_per_tag: int = 8):
+        self.max_idle_per_tag = max_idle_per_tag
+        self._lock = threading.Lock()
+        self._idle: Dict[str, List[World]] = {}
+        self.built = 0
+        self.loaded = 0
+        self.reused = 0
+        self.saved = 0
+
+    def checkout(self, config: SimConfig, snapshot_dir: Optional[str] = None) -> World:
+        tag = world_tag(config)
+        with self._lock:
+            idle = self._idle.get(tag)
+            if idle:
+                self.reused += 1
+                return idle.pop()
+        if snapshot_dir is not None:
+            try:
+                world = load_world_snapshot(config, snapshot_dir)
+            except SnapshotError:
+                pass
+            else:
+                with self._lock:
+                    self.loaded += 1
+                return world
+        world = World(config)  # construction pauses the GC itself
+        with self._lock:
+            self.built += 1
+        if snapshot_dir is not None:
+            try:
+                save_world_snapshot(world, snapshot_dir)
+            except OSError:  # pragma: no cover - snapshot dir unwritable
+                pass
+            else:
+                with self._lock:
+                    self.saved += 1
+        return world
+
+    def checkin(self, world: World) -> None:
+        world.reset()
+        tag = world_tag(world.config)
+        with self._lock:
+            idle = self._idle.setdefault(tag, [])
+            if len(idle) < self.max_idle_per_tag:
+                idle.append(world)
+
+    def idle_count(self, config: SimConfig) -> int:
+        with self._lock:
+            return len(self._idle.get(world_tag(config), ()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._idle.clear()
+            self.built = self.loaded = self.reused = self.saved = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "built": self.built,
+                "loaded": self.loaded,
+                "reused": self.reused,
+                "saved": self.saved,
+            }
+
+
+# One registry per process: pipeline worker processes each get their own
+# (fed by the on-disk snapshot), thread-mode tasks all share this one.
+_REGISTRY = WorldRegistry()
+
+
+def world_registry() -> WorldRegistry:
+    return _REGISTRY
+
+
+def checkout_world(config: SimConfig, snapshot_dir: Optional[str] = None) -> World:
+    """Acquire an exclusively owned world for *config* from the default
+    registry (pooled → snapshot → fresh build, in that order)."""
+    return _REGISTRY.checkout(config, snapshot_dir)
+
+
+def checkin_world(world: World) -> None:
+    """Release a world back to the default registry for reuse."""
+    _REGISTRY.checkin(world)
+
+
+def ensure_world_snapshot(config: SimConfig, snapshot_dir: str) -> str:
+    """Make sure a valid snapshot for *config* exists under
+    *snapshot_dir* (building one if needed) and return its path.
+
+    The pipeline parent calls this before spawning workers so the world
+    is built and signed exactly once; process workers then deserialize
+    and thread workers draw on the registry pool. The world that seeded
+    (or validated) the snapshot is parked in the in-process registry,
+    so the parent's own stages reuse it too. An unwritable snapshot
+    directory is tolerated — workers fall back to building, exactly as
+    if no snapshot had been requested."""
+    try:
+        # A full validating load, not a mere existence check: a stale or
+        # corrupt file left on disk would otherwise be "ready" here and
+        # then rejected by every worker, which would each rebuild.
+        world = load_world_snapshot(config, snapshot_dir)
+    except SnapshotError:
+        world = checkout_world(config)  # pooled or fresh, no disk read
+        try:
+            save_world_snapshot(world, snapshot_dir)
+        except OSError:  # pragma: no cover - snapshot dir unwritable
+            pass
+    checkin_world(world)
+    return snapshot_path(snapshot_dir, config)

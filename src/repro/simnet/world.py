@@ -14,7 +14,10 @@ all follow the clock.
 from __future__ import annotations
 
 import datetime
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
+
+from ..gcutils import paused_gc
 
 from ..dnscore import rdtypes
 from ..dnscore.names import Name
@@ -36,6 +39,10 @@ from .config import SimConfig
 from .providers import PROVIDERS, ProviderSpec
 
 _LONG_VALIDITY = 420 * 86400  # root/TLD signatures cover the whole study
+
+# Synthesized-DS entries kept per TLD zone (LRU: hot delegations survive
+# eviction; entries are keyed per day, so a long campaign cycles them).
+_DS_CACHE_CAPACITY = 50_000
 
 ECH_PUBLIC_NAME = "cloudflare-ech.com"
 
@@ -70,7 +77,7 @@ class DynamicTldZone(Zone):
     def __init__(self, world: "World", apex: Name):
         super().__init__(apex, default_ttl=300)
         self.world = world
-        self._ds_cache: Dict[Tuple[Name, int], Tuple[RRset, List[RRSIGRdata]]] = {}
+        self._ds_cache: "OrderedDict[Tuple[Name, int], Tuple[Optional[RRset], List[RRSIGRdata]]]" = OrderedDict()
 
     # -- dynamic lookups -----------------------------------------------------
 
@@ -156,6 +163,7 @@ class DynamicTldZone(Zone):
         cache_key = (child, timeline.day_index(date))
         cached = self._ds_cache.get(cache_key)
         if cached is not None:
+            self._ds_cache.move_to_end(cache_key)
             return cached
         keyset = ZoneKeySet(child)
         rrset = RRset(child, rdtypes.DS, self.default_ttl, [keyset.ksk.ds_record(child)])
@@ -164,8 +172,8 @@ class DynamicTldZone(Zone):
             inception = timeline.epoch_seconds(date) - 3600
             sigs = [sign_rrset(rrset, self.apex, self.keyset.zsk, inception)]
         self._ds_cache[cache_key] = (rrset, sigs)
-        if len(self._ds_cache) > 50_000:
-            self._ds_cache.clear()
+        while len(self._ds_cache) > _DS_CACHE_CAPACITY:
+            self._ds_cache.popitem(last=False)
         return rrset, sigs
 
     def has_name(self, name: Name) -> bool:
@@ -229,6 +237,14 @@ class World:
     """The simulated Internet under one :class:`SimConfig`."""
 
     def __init__(self, config: Optional[SimConfig] = None):
+        # Construction allocates the bulk of an immortal object graph
+        # (profiles, zones, signatures); pause the cyclic GC so the
+        # allocation churn cannot trigger full-heap passes mid-build
+        # (same rationale as the per-batch pause in resolver/batch.py).
+        with paused_gc():
+            self._build(config)
+
+    def _build(self, config: Optional[SimConfig]) -> None:
         self.config = config if config is not None else SimConfig()
         self.profiles: List[DomainProfile] = [
             make_profile(self.config, i) for i in range(self.config.population)
@@ -250,6 +266,33 @@ class World:
 
         self._build_infrastructure()
         self._build_resolvers()
+
+    def reset(self) -> None:
+        """Return the world to its just-built state so it can be reused.
+
+        Rewinds the clock to the study start and flushes every cache
+        whose entries are stamped with (or derived from) the current
+        time: the per-day zone cache and both resolvers' record and
+        delegation caches. Deterministic time-keyed memos — the TLD DS
+        cache (keyed per day) and the ECH key-generation table — are
+        kept: their entries are pure functions of (config, date/hour).
+        A reset world answers every query bit-for-bit like a freshly
+        built one, which is what lets the snapshot registry
+        (:mod:`~repro.simnet.snapshot`) hand one world to a sequence of
+        pipeline tasks instead of rebuilding per task."""
+        self.current_date = timeline.STUDY_START
+        self.current_hour = 0.0
+        self.clock.rewind(timeline.epoch_seconds(timeline.STUDY_START))
+        self._zone_cache.clear()
+        self._zone_cache_stamp = (self.current_date, 0)
+        for resolver in (self.google_resolver, self.cloudflare_resolver):
+            resolver.reset()
+        # Drop the batch scheduler (it holds per-run coalescing counters)
+        # and zero the transport counters so RunStats.of_world reports
+        # only the next run's work.
+        self.stub.batch = None
+        self.network.dns_query_count = 0
+        self.network.tcp_connect_count = 0
 
     # ------------------------------------------------------------------
     # infrastructure

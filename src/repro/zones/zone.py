@@ -16,7 +16,7 @@ from ..dnscore.names import Name
 from ..dnscore.rdata import NSRdata, Rdata, RRSIGRdata, SOARdata
 from ..dnscore.rrset import RRset
 from ..dnssec.keys import ZoneKeySet
-from ..dnssec.signing import sign_rrset
+from ..dnssec.signing import SignatureMemo, sign_rrset
 
 DEFAULT_TTL = 300
 
@@ -153,9 +153,20 @@ class Zone:
 
     # -- signing ------------------------------------------------------------------
 
-    def sign(self, now: int, keyset: Optional[ZoneKeySet] = None, expiration: Optional[int] = None) -> None:
+    def sign(
+        self,
+        now: int,
+        keyset: Optional[ZoneKeySet] = None,
+        expiration: Optional[int] = None,
+        memo: Optional[SignatureMemo] = None,
+    ) -> None:
         """Sign every authoritative RRset. DNSKEY is published at the apex
-        and signed with the KSK; everything else with the ZSK."""
+        and signed with the KSK; everything else with the ZSK.
+
+        Signatures route through the process-global signature memo (or
+        *memo*), so re-signing a rebuilt-but-unchanged zone — the common
+        case when the world's per-day zone cache evicts — recomputes
+        nothing and yields byte-identical RRSIGs."""
         self.keyset = keyset or ZoneKeySet(self.apex)
         dnskey_rrset = RRset(
             self.apex,
@@ -169,7 +180,7 @@ class Zone:
             if name in self._delegations and rdtype == rdtypes.NS:
                 continue  # delegation NS sets are not signed by the parent
             key = self.keyset.ksk if rdtype == rdtypes.DNSKEY else self.keyset.zsk
-            rrsig = sign_rrset(rrset, self.apex, key, now, expiration)
+            rrsig = sign_rrset(rrset, self.apex, key, now, expiration, memo=memo)
             self._rrsigs.setdefault((name, rdtype), []).append(rrsig)
         self.signed = True
 
