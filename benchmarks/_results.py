@@ -1,0 +1,38 @@
+"""Where benchmark records land.
+
+Benchmark timings are host-local noise (±25% on small shared machines),
+so by default every record — the per-figure comparison files the pytest
+fixtures emit and the ``*_walltime.txt`` wall-clock records — is written
+to the untracked ``.bench_results/`` directory, leaving the committed
+``bench_results/`` files exactly as the last deliberate recording left
+them. Set ``REPRO_BENCH_RECORD=1`` to update the committed files on
+purpose (a release host refreshing the published numbers, or CI jobs
+whose workspace is thrown away anyway).
+"""
+
+from __future__ import annotations
+
+import os
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+COMMITTED_DIR = os.path.join(_REPO_ROOT, "bench_results")
+LOCAL_DIR = os.path.join(_REPO_ROOT, ".bench_results")
+
+
+def env_flag(name: str) -> bool:
+    """Truthy-environment-knob parser shared by the bench suite."""
+    return os.environ.get(name, "0").lower() in ("1", "true", "yes", "on")
+
+
+def record_committed() -> bool:
+    """True when this run should update the committed records."""
+    return env_flag("REPRO_BENCH_RECORD")
+
+
+def results_dir() -> str:
+    return COMMITTED_DIR if record_committed() else LOCAL_DIR
+
+
+def results_path(name: str) -> str:
+    """Absolute path for the record *name* under the active results dir."""
+    return os.path.join(results_dir(), name)

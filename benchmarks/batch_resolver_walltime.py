@@ -4,8 +4,9 @@ Runs the same campaign twice — once with one blocking ``resolve`` per
 query and once through the batched resolution core (state machines
 interleaved by ``BatchResolver`` with in-flight query coalescing) —
 verifies the two datasets are value-equal, and records both timings
-plus the coalescing counters under
-``bench_results/batch_resolver_walltime.txt``.
+plus the coalescing counters in ``batch_resolver_walltime.txt`` under
+the benchmark results directory (untracked ``.bench_results/`` unless
+``REPRO_BENCH_RECORD=1`` — see ``_results.py``).
 
 Not collected by pytest (no ``test_`` prefix) because it deliberately
 rebuilds the campaign twice without the cache; run it directly:
@@ -20,12 +21,11 @@ import gc
 import os
 import time
 
+from _results import results_path
 from repro.scanner import run_campaign
 from repro.simnet import SimConfig, World
 
-RESULTS_PATH = os.path.join(
-    os.path.dirname(__file__), "..", "bench_results", "batch_resolver_walltime.txt"
-)
+RESULTS_PATH = results_path("batch_resolver_walltime.txt")
 
 
 def main() -> int:

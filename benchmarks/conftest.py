@@ -2,16 +2,21 @@
 
 The campaign dataset is built once (then disk-cached under ``.cache/``)
 at 1/167 of Tranco scale by default; every benchmark times its *analysis*
-against that dataset and emits a paper-vs-measured comparison under
-``bench_results/``.
+against that dataset and emits a paper-vs-measured comparison under the
+results directory (untracked ``.bench_results/`` by default; set
+``REPRO_BENCH_RECORD=1`` to deliberately refresh the committed
+``bench_results/`` files — see :mod:`_results`).
 
 Environment knobs: ``REPRO_POPULATION`` (default 6000), ``REPRO_DAY_STEP``
 (default 7), ``REPRO_WORKERS`` (default 1 — set >1 to build the dataset
 through the sharded pipeline), ``REPRO_BATCH`` (default 0 — set to 1 to
 resolve scans through the batched resolution core), ``REPRO_SNAPSHOT``
 (default 0 — set to 1 to warm worker worlds from the on-disk world
-snapshot cache under ``.cache/worlds`` instead of rebuilding them). The
-dataset is identical under every knob combination.
+snapshot cache under ``.cache/worlds`` instead of rebuilding them),
+``REPRO_CONTINUOUS`` (default 0 — set to 1 to build the dataset through
+the continuous collector: day-slice × domain-shard increments folded
+against a checkpoint under ``.cache/checkpoints``). The dataset is
+identical under every knob combination.
 """
 
 from __future__ import annotations
@@ -20,17 +25,19 @@ import os
 
 import pytest
 
+from _results import env_flag, results_dir
 from repro.scanner import load_or_run_campaign
 from repro.simnet import SimConfig, World
 
 BENCH_POPULATION = int(os.environ.get("REPRO_POPULATION", "6000"))
 BENCH_DAY_STEP = int(os.environ.get("REPRO_DAY_STEP", "7"))
 BENCH_WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
-BENCH_BATCH = os.environ.get("REPRO_BATCH", "0").lower() in ("1", "true", "yes", "on")
-BENCH_SNAPSHOT = os.environ.get("REPRO_SNAPSHOT", "0").lower() in ("1", "true", "yes", "on")
+BENCH_BATCH = env_flag("REPRO_BATCH")
+BENCH_SNAPSHOT = env_flag("REPRO_SNAPSHOT")
+BENCH_CONTINUOUS = env_flag("REPRO_CONTINUOUS")
 CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".cache")
 SNAPSHOT_DIR = os.path.join(CACHE_DIR, "worlds") if BENCH_SNAPSHOT else None
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+RESULTS_DIR = results_dir()
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +54,7 @@ def bench_dataset(bench_config):
         workers=BENCH_WORKERS,
         batch=BENCH_BATCH,
         snapshot_dir=SNAPSHOT_DIR,
+        continuous=BENCH_CONTINUOUS,
     )
 
 

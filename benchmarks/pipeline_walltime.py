@@ -2,8 +2,10 @@
 
 Runs the same full-study campaign twice — once through the sequential
 ``run_campaign`` loop and once through ``ParallelCampaignRunner`` — then
-verifies the two datasets are equal and records both timings under
-``bench_results/pipeline_walltime.txt``.
+verifies the two datasets are equal and records both timings in
+``pipeline_walltime.txt`` under the benchmark results directory
+(untracked ``.bench_results/`` unless ``REPRO_BENCH_RECORD=1`` — see
+``_results.py``).
 
 Not collected by pytest (no ``test_`` prefix) because it deliberately
 rebuilds the campaign twice without the cache; run it directly:
@@ -17,10 +19,11 @@ import argparse
 import os
 import time
 
+from _results import results_path
 from repro.scanner import ParallelCampaignRunner, run_campaign
 from repro.simnet import SimConfig, World
 
-RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "bench_results", "pipeline_walltime.txt")
+RESULTS_PATH = results_path("pipeline_walltime.txt")
 
 
 def main() -> int:

@@ -6,7 +6,9 @@ scratch), a rebuild with the process-global RRSIG memo warm, and a
 deserialization of the on-disk world snapshot — then verifies the
 acceptance property: a sharded pipeline run warmed from the snapshot
 produces a dataset value-equal to the no-snapshot run. Results land in
-``bench_results/world_snapshot_walltime.txt``.
+``world_snapshot_walltime.txt`` under the benchmark results directory
+(untracked ``.bench_results/`` unless ``REPRO_BENCH_RECORD=1`` — see
+``_results.py``).
 
 Timings run with the cyclic GC collected beforehand and paused during
 each build/load (the world is an immortal object graph; full-heap GC
@@ -31,6 +33,7 @@ import os
 import tempfile
 import time
 
+from _results import env_flag, results_path
 from repro.dnssec.signing import signature_memo
 from repro.scanner import ParallelCampaignRunner
 from repro.simnet import (
@@ -42,9 +45,7 @@ from repro.simnet import (
     world_registry,
 )
 
-RESULTS_PATH = os.path.join(
-    os.path.dirname(__file__), "..", "bench_results", "world_snapshot_walltime.txt"
-)
+RESULTS_PATH = results_path("world_snapshot_walltime.txt")
 
 
 def _best_of(repeats: int, action) -> float:
@@ -74,7 +75,7 @@ def main() -> int:
     config = SimConfig(population=args.population)
     # REPRO_SNAPSHOT=1 (the bench-suite knob) persists snapshots under
     # the shared .cache; otherwise use a throwaway directory.
-    if os.environ.get("REPRO_SNAPSHOT", "0").lower() in ("1", "true", "yes", "on"):
+    if env_flag("REPRO_SNAPSHOT"):
         snapshot_dir = os.path.join(os.path.dirname(__file__), "..", ".cache", "worlds")
     else:
         snapshot_dir = tempfile.mkdtemp(prefix="repro-world-snap-")

@@ -97,13 +97,41 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-snapshot", action="store_true",
                         help="disable the world snapshot cache (every worker "
                              "rebuilds its world from scratch)")
+    parser.add_argument("--continuous", action="store_true",
+                        help="collect incrementally: day-slice × domain-shard "
+                             "increments folded into a growing longitudinal "
+                             "dataset with an on-disk checkpoint, so an "
+                             "interrupted run resumes instead of restarting "
+                             "(same dataset as a one-shot run)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="checkpoint directory for --continuous (default: "
+                             "a key-scoped directory under "
+                             "<cache-dir>/checkpoints)")
+    parser.add_argument("--increment-days", type=int, default=None, metavar="N",
+                        help="scan days per day-slice increment in "
+                             "--continuous mode (default 7)")
+    parser.add_argument("--max-increments", type=int, default=None, metavar="N",
+                        help="stop the continuous run after N increments "
+                             "(exit status 3; the checkpoint resumes on the "
+                             "next invocation)")
     parser.add_argument("--export", metavar="DIR", help="write figure CSVs to DIR")
     parser.add_argument("--cache-dir", default=".cache")
     args = parser.parse_args(argv)
 
+    if not args.continuous:
+        given = [
+            flag for flag, value in (
+                ("--checkpoint-dir", args.checkpoint_dir is not None),
+                ("--increment-days", args.increment_days is not None),
+                ("--max-increments", args.max_increments is not None),
+            ) if value
+        ]
+        if given:
+            parser.error(f"{', '.join(given)} requires --continuous")
+
     from .analysis import adoption, ech_analysis, nameservers
     from .reporting import render_comparison
-    from .scanner import load_or_run_campaign
+    from .scanner import CollectionInterrupted, load_or_run_campaign
 
     import os
 
@@ -112,15 +140,23 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
         snapshot_dir = args.snapshot_dir or os.path.join(args.cache_dir, "worlds")
 
     config = SimConfig(population=args.population)
-    dataset = load_or_run_campaign(
-        config,
-        day_step=args.day_step,
-        cache_dir=args.cache_dir,
-        workers=args.workers,
-        batch=args.batch,
-        snapshot_dir=snapshot_dir,
-        ech_sample=args.ech_sample,
-    )
+    try:
+        dataset = load_or_run_campaign(
+            config,
+            day_step=args.day_step,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            batch=args.batch,
+            snapshot_dir=snapshot_dir,
+            continuous=args.continuous,
+            checkpoint_dir=args.checkpoint_dir,
+            days_per_increment=args.increment_days or 7,
+            max_increments=args.max_increments,
+            ech_sample=args.ech_sample,
+        )
+    except CollectionInterrupted as exc:
+        print(f"repro-scan: {exc}", file=sys.stderr)
+        return 3
     summary = adoption.summarize(dataset)
     stats = nameservers.table2_ns_shares(dataset)
     event = ech_analysis.detect_disable_event(dataset)

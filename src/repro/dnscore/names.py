@@ -172,6 +172,22 @@ class Name:
             self._hash = hash(self._key())
         return self._hash
 
+    def __getstate__(self):
+        # Only the labels cross a pickle boundary, never the caches: the
+        # cached hash bakes in this interpreter's str-hash seed, and a
+        # Name unpickled into another interpreter (world snapshots are
+        # loaded by resumed collections — see simnet/snapshot.py) would
+        # keep answering with the stale value, silently missing in every
+        # dict keyed by freshly constructed Names. Wrapped in a 1-tuple
+        # so the state is truthy even for an empty relative name (pickle
+        # skips __setstate__ entirely on a falsy state).
+        return (self._labels,)
+
+    def __setstate__(self, state) -> None:
+        (self._labels,) = state  # validated when first constructed
+        self._hash = None
+        self._key_cache = None
+
     def __repr__(self) -> str:
         return f"Name({self.to_text()!r})"
 

@@ -1,5 +1,5 @@
 """The measurement framework: scan engine, datasets, campaign runner,
-and the sharded parallel pipeline."""
+the sharded parallel pipeline, and the continuous-collection driver."""
 
 from .campaign import (
     CampaignSchedule,
@@ -9,12 +9,21 @@ from .campaign import (
     load_or_run_campaign,
     run_campaign,
     run_scheduled,
+    slice_schedule,
 )
-from .dataset import DailySnapshot, Dataset, cache_path
+from .collector import (
+    CheckpointError,
+    CollectionInterrupted,
+    ContinuousCollector,
+    Increment,
+    load_checkpoint_dataset,
+)
+from .dataset import DailySnapshot, Dataset, cache_path, checkpoint_dir_path
 from .incremental import (
     DatasetMergeError,
     continuation_window,
     coverage_gaps,
+    fold_slice,
     merge_datasets,
 )
 from .pipeline import ParallelCampaignRunner, ShardPlan, merge_shard_datasets
@@ -35,16 +44,24 @@ __all__ = [
     "load_or_run_campaign",
     "run_campaign",
     "run_scheduled",
+    "slice_schedule",
+    "CheckpointError",
+    "CollectionInterrupted",
+    "ContinuousCollector",
+    "Increment",
+    "load_checkpoint_dataset",
     "ParallelCampaignRunner",
     "ShardPlan",
     "merge_shard_datasets",
     "DatasetMergeError",
     "continuation_window",
     "coverage_gaps",
+    "fold_slice",
     "merge_datasets",
     "DailySnapshot",
     "Dataset",
     "cache_path",
+    "checkpoint_dir_path",
     "ScanEngine",
     "parse_https_rdata",
     "ConnectivityProbe",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import datetime
 import sys
-from typing import AbstractSet, Callable, Dict, Mapping, Optional, Tuple
+from typing import AbstractSet, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..dnscore import rdtypes
 from ..dnssec.validation import ChainValidator
@@ -139,6 +139,39 @@ def build_schedule(
     )
 
 
+def slice_schedule(
+    schedule: CampaignSchedule, days: Sequence[datetime.date]
+) -> CampaignSchedule:
+    """Restrict *schedule* to a subset of its scan days: the plan of one
+    arriving day-slice increment.
+
+    The DNSSEC-snapshot threshold is resolved to the concrete day the
+    *full* schedule would run it on (the first scan day at or after the
+    threshold), and only the slice owning that day keeps a threshold —
+    otherwise every slice past the threshold would take its own snapshot
+    on its own first day and the fold would diverge from the one-shot
+    run. The hourly ECH window is likewise restricted to the slice's
+    days (ECH target selection is per-day, so the window splits cleanly
+    across slice boundaries).
+    """
+    wanted = set(days)
+    unknown = wanted - set(schedule.scan_days)
+    if unknown:
+        raise ValueError(f"days not in the schedule: {sorted(unknown)}")
+    resolved = None
+    if schedule.dnssec_threshold is not None:
+        resolved = next(
+            (d for d in schedule.scan_days if d >= schedule.dnssec_threshold), None
+        )
+    return CampaignSchedule(
+        day_step=schedule.day_step,
+        scan_days=tuple(sorted(wanted)),
+        ech_days=tuple(d for d in schedule.ech_days if d in wanted),
+        ech_sample=schedule.ech_sample,
+        dnssec_threshold=resolved if resolved in wanted else None,
+    )
+
+
 def run_campaign(
     world: World,
     day_step: int = 7,
@@ -169,6 +202,7 @@ def run_scheduled(
     names: Optional[AbstractSet[str]] = None,
     scan_nameservers: bool = True,
     batch: bool = False,
+    seen_https: Optional[AbstractSet[str]] = None,
 ) -> Dataset:
     """Execute *schedule* against *world*, optionally restricted to a
     name-slice.
@@ -182,14 +216,20 @@ def run_scheduled(
     name servers shared across shards are scanned once, not N times).
     ``batch=True`` resolves each day's scans as interleaved batches
     through the batched resolution core — the dataset is value-equal to
-    the serial path either way.
+    the serial path either way. *seen_https* carries the deactivation
+    watchlist across day-slice increments: a continuation run over later
+    days passes the apexes that already published HTTPS on earlier days
+    (recoverable as the union of ``snapshot.apex`` keys), so the fold of
+    day-slices watches exactly the domains a one-shot run would.
     """
     config = world.config
     engine = ScanEngine(world)
     dataset = Dataset(config.population, config.seed, schedule.day_step)
     ech_days = set(schedule.ech_days)
     dnssec_done = False
-    seen_https: set = set()  # apexes that published HTTPS at least once
+    # Apexes that published HTTPS at least once (earlier increments' carry
+    # plus this run's own days); copied so the caller's set is untouched.
+    seen_https = set() if seen_https is None else set(seen_https)
 
     for date in schedule.scan_days:
         world.set_time(date)
@@ -459,6 +499,10 @@ def load_or_run_campaign(
     workers: int = 1,
     batch: bool = False,
     snapshot_dir: Optional[str] = None,
+    continuous: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    days_per_increment: int = 7,
+    max_increments: Optional[int] = None,
     **kwargs,
 ) -> Dataset:
     """Return a cached dataset for (config, day_step) or run the campaign.
@@ -471,18 +515,57 @@ def load_or_run_campaign(
     it. All three knobs produce datasets equal to the sequential serial
     run, so they deliberately stay out of the cache key (any combination
     can reuse the same dataset).
+
+    ``continuous=True`` instead drives the campaign through the
+    incremental :class:`~repro.scanner.collector.ContinuousCollector`:
+    day-slice × domain-shard increments executed one at a time against
+    an on-disk checkpoint under *checkpoint_dir* (default: a key-scoped
+    directory under ``<cache_dir>/checkpoints``), resumable after an
+    interruption. The final dataset is value-equal to the one-shot run,
+    but the continuous knobs *do* join the cache key: a half-finished
+    checkpoint and a cached one-shot dataset must never alias each
+    other, so continuous runs keep their own cache entry.
+    ``max_increments`` bounds how many pending increments this call may
+    execute before raising
+    :class:`~repro.scanner.collector.CollectionInterrupted` (the
+    checkpoint is kept; a later call resumes).
     """
     config = config if config is not None else SimConfig.from_env()
     # The cache key covers every campaign kwarg (canonically) and every
     # config field, so cohort-parameter changes invalidate stale datasets.
-    tag = canonical_cache_tag(kwargs) + "|" + repr(dataclasses.astuple(config))
+    tag_kwargs = dict(kwargs)
+    if continuous:
+        # Continuous runs key separately (see docstring); the increment
+        # partitioning joins too so a checkpoint laid out for one
+        # partition is never resumed under another key.
+        tag_kwargs.update(continuous=True, days_per_increment=days_per_increment)
+    tag = canonical_cache_tag(tag_kwargs) + "|" + repr(dataclasses.astuple(config))
     path = cache_path(cache_dir, config.population, config.seed, day_step, tag=tag)
     try:
         return Dataset.load(path)
     except (OSError, EOFError, TypeError):
         pass
     progress = (lambda msg: print(msg, file=sys.stderr)) if verbose else None
-    if workers > 1:
+    if continuous:
+        from .collector import ContinuousCollector
+        from .dataset import checkpoint_dir_path
+
+        if checkpoint_dir is None:
+            checkpoint_dir = checkpoint_dir_path(
+                cache_dir, config.population, config.seed, day_step, tag=tag
+            )
+        collector = ContinuousCollector(
+            config,
+            checkpoint_dir,
+            workers=workers,
+            day_step=day_step,
+            days_per_increment=days_per_increment,
+            batch=batch,
+            snapshot_dir=snapshot_dir,
+            **kwargs,
+        )
+        dataset = collector.collect(progress=progress, max_increments=max_increments)
+    elif workers > 1:
         from .pipeline import ParallelCampaignRunner
 
         runner = ParallelCampaignRunner(

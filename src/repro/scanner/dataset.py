@@ -176,6 +176,71 @@ class Dataset:
     def add_snapshot(self, snapshot: DailySnapshot) -> None:
         self.snapshots[snapshot.date] = snapshot
 
+    def extend(self, other: "Dataset", allow_overlap: bool = False) -> "Dataset":
+        """Fold *other* — a campaign slice over the same world — into
+        this dataset in place and return self.
+
+        This is the disjoint-days merge axis (what
+        :func:`~repro.scanner.incremental.merge_datasets` folds over):
+        snapshots concatenate (overlapping days rejected unless
+        *allow_overlap*, in which case the later slice supersedes),
+        hourly ECH rows dedupe by (name, hour, config), the latest
+        DNSSEC snapshot wins, and ``run_stats`` accumulate so a
+        longitudinal collection reports transport/coalescing totals
+        across all of its increments. ``day_step`` is deliberately left
+        alone: the continuous collector folds slices of one campaign
+        cadence, and recomputing it from observed gaps would diverge
+        from the one-shot dataset (callers that want the observed
+        cadence use :func:`~repro.scanner.incremental.merge_datasets`).
+        """
+        if (other.population, other.seed) != (self.population, self.seed):
+            raise ValueError(
+                "cannot merge datasets from different worlds: "
+                f"{(other.population, other.seed)} vs {(self.population, self.seed)}"
+            )
+        for day, snapshot in other.snapshots.items():
+            if day in self.snapshots and not allow_overlap:
+                raise ValueError(f"scan day {day} present in more than one slice")
+            self.snapshots[day] = snapshot
+        if other.ech_observations:
+            # Dedupe hourly ECH rows across re-scanned slices: a (name,
+            # hour, config) sighting appears once no matter how many
+            # slices covered that hour, later slices superseding.
+            by_key = {
+                (o.name, o.hour, o.config_digest): o for o in self.ech_observations
+            }
+            for observation in other.ech_observations:
+                key = (observation.name, observation.hour, observation.config_digest)
+                by_key[key] = observation
+            self.ech_observations = list(by_key.values())
+        if other.dnssec_snapshot:
+            if (
+                self.dnssec_snapshot_date is None
+                or other.dnssec_snapshot_date > self.dnssec_snapshot_date
+            ):
+                self.dnssec_snapshot = other.dnssec_snapshot
+                self.dnssec_snapshot_date = other.dnssec_snapshot_date
+        if other.run_stats is not None:
+            self.run_stats = (
+                other.run_stats
+                if self.run_stats is None
+                else self.run_stats + other.run_stats
+            )
+        return self
+
+    def apexes_with_https(self) -> set:
+        """Apexes that published HTTPS on at least one scan day.
+
+        This is exactly the ``seen_https`` deactivation-watchlist state a
+        campaign accumulates while scanning these days, so a continuation
+        run over later day-slices passes it to
+        :func:`~repro.scanner.campaign.run_scheduled` as its carry-in.
+        """
+        seen: set = set()
+        for snapshot in self.snapshots.values():
+            seen.update(snapshot.apex)
+        return seen
+
     # -- overlapping-domain machinery (§4.1) ---------------------------------
 
     def overlapping_domains(self, phase: int) -> FrozenSet[str]:
@@ -213,6 +278,27 @@ class Dataset:
         return dataset
 
 
+def _dataset_key(population: int, seed: str, day_step: int, tag: str) -> str:
+    """The shared cache-key digest behind :func:`cache_path` and
+    :func:`checkpoint_dir_path` (one derivation, so the two namespaces
+    cannot drift apart)."""
+    return hashlib.sha256(f"{population}|{seed}|{day_step}|{tag}".encode()).hexdigest()[:16]
+
+
 def cache_path(cache_dir: str, population: int, seed: str, day_step: int, tag: str = "") -> str:
-    key = hashlib.sha256(f"{population}|{seed}|{day_step}|{tag}".encode()).hexdigest()[:16]
+    key = _dataset_key(population, seed, day_step, tag)
     return os.path.join(cache_dir, f"dataset_{population}_{day_step}_{key}.pkl.gz")
+
+
+def checkpoint_dir_path(
+    cache_dir: str, population: int, seed: str, day_step: int, tag: str = ""
+) -> str:
+    """Default checkpoint directory for a continuous collection.
+
+    Keyed like :func:`cache_path` but under ``checkpoints/`` with a
+    distinct name shape, so a half-finished checkpoint can never alias a
+    cached one-shot dataset file (the *tag* additionally carries the
+    continuous-mode knobs — see
+    :func:`~repro.scanner.campaign.load_or_run_campaign`)."""
+    key = _dataset_key(population, seed, day_step, tag)
+    return os.path.join(cache_dir, "checkpoints", f"campaign_{population}_{day_step}_{key}")

@@ -51,7 +51,17 @@ import concurrent.futures
 import dataclasses
 import datetime
 import hashlib
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..simnet import timeline
 from ..simnet.config import SimConfig
@@ -113,8 +123,13 @@ class ShardPlan:
 def _scan_shard(
     config: SimConfig, schedule: CampaignSchedule, shards: int, index: int,
     batch: bool = False, snapshot_dir: Optional[str] = None,
+    seen_https: FrozenSet[str] = frozenset(),
 ) -> Dataset:
-    """Stage 1: run the daily-scan schedule over one domain shard."""
+    """Stage 1: run the daily-scan schedule over one domain shard.
+
+    *seen_https* is the deactivation-watchlist carry-in for day-slice
+    increments (apexes that already published HTTPS on earlier, already
+    folded days); a whole-window run passes the empty set."""
     world = checkout_world(config, snapshot_dir)
     try:
         plan = ShardPlan(shards, config.seed)
@@ -125,7 +140,8 @@ def _scan_shard(
         # N times.
         quiet = dataclasses.replace(schedule, ech_days=())
         return run_scheduled(
-            world, quiet, names=names, scan_nameservers=False, batch=batch
+            world, quiet, names=names, scan_nameservers=False, batch=batch,
+            seen_https=seen_https,
         )
     finally:
         checkin_world(world)
@@ -254,6 +270,17 @@ class ParallelCampaignRunner:
     registry instead of each building their own. ``snapshot_dir`` adds
     the on-disk world snapshot so process workers deserialize their
     world instead of rebuilding it.
+
+    The runner is reusable across schedules: its worker pool is created
+    lazily and persists between calls, so consecutive increments of a
+    continuous collection (:mod:`~repro.scanner.collector`) reuse warm
+    worker processes — whose per-process :class:`WorldRegistry` pools
+    keep their deserialized worlds — instead of paying pool spin-up and
+    world warm-up per increment. ``run()`` keeps its one-shot contract
+    (the pool is torn down afterwards) unless ``keep_alive=True``;
+    callers driving increments through :meth:`run_shard` /
+    :meth:`finish_slice` / :meth:`run_schedule` own the lifetime and
+    call :meth:`close` (or use the runner as a context manager).
     """
 
     def __init__(
@@ -269,6 +296,8 @@ class ParallelCampaignRunner:
         executor: str = "process",
         batch: bool = False,
         snapshot_dir: Optional[str] = None,
+        schedule: Optional[CampaignSchedule] = None,
+        keep_alive: bool = False,
     ):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -277,7 +306,8 @@ class ParallelCampaignRunner:
         self.executor = executor
         self.batch = bool(batch)
         self.snapshot_dir = snapshot_dir
-        self.schedule = build_schedule(
+        self.keep_alive = bool(keep_alive)
+        self.schedule = schedule if schedule is not None else build_schedule(
             day_step=day_step,
             start=start,
             end=end,
@@ -286,19 +316,41 @@ class ParallelCampaignRunner:
             with_dnssec_snapshot=with_dnssec_snapshot,
         )
         self.plan = ShardPlan(self.workers, self.config.seed)
-        # Filled by run(): transport/scheduler counters summed over every
-        # worker in every stage (they are otherwise lost at worker exit).
+        # Filled by run()/run_schedule(): transport/scheduler counters
+        # summed over every worker in every stage (they are otherwise
+        # lost at worker exit).
         self.run_stats: Optional[RunStats] = None
+        self._pool_instance = None
+        self._snapshot_ready = False
 
     # -- public API --------------------------------------------------------
 
     def run(self, progress: Optional[Callable[[str], None]] = None) -> Dataset:
+        try:
+            return self.run_schedule(self.schedule, progress=progress)
+        finally:
+            if not self.keep_alive:
+                self.close()
+
+    def run_schedule(
+        self,
+        schedule: CampaignSchedule,
+        progress: Optional[Callable[[str], None]] = None,
+        seen_https: FrozenSet[str] = frozenset(),
+    ) -> Dataset:
+        """Execute an arbitrary (sub-)schedule through the sharded
+        three-stage machinery and return the merged dataset.
+
+        The worker pool stays warm afterwards — this is the increment
+        executor the continuous collector loops over (``run()`` wraps it
+        for the one-shot whole-campaign case)."""
         if self.workers == 1:
             if self.snapshot_dir is not None:
                 world = checkout_world(self.config, self.snapshot_dir)
                 try:
                     dataset = run_scheduled(
-                        world, self.schedule, progress=progress, batch=self.batch
+                        world, schedule, progress=progress, batch=self.batch,
+                        seen_https=seen_https,
                     )
                 finally:
                     checkin_world(world)
@@ -306,56 +358,142 @@ class ParallelCampaignRunner:
                 # No reuse requested: a throwaway world, not a pooled one
                 # (pooling would pin it for the process lifetime).
                 dataset = run_scheduled(
-                    World(self.config), self.schedule,
-                    progress=progress, batch=self.batch,
+                    World(self.config), schedule,
+                    progress=progress, batch=self.batch, seen_https=seen_https,
                 )
             self.run_stats = dataset.run_stats
             return dataset
-        if self.snapshot_dir is not None:
-            # Build (and sign) the world exactly once, up front: process
-            # workers deserialize the snapshot instead of repeating
-            # construction, and concurrent thread workers load it too
-            # (the registry pool only has the parent's single world, so
-            # without the file the rest would each build their own).
-            ensure_world_snapshot(self.config, self.snapshot_dir)
-            if progress is not None:
-                progress(f"world snapshot ready under {self.snapshot_dir}")
-        with self._pool() as pool:
-            shards = self._gather(
-                pool,
-                [
+        self.prepare(progress)
+        shards = self._execute(
+            [
+                (
+                    _scan_shard,
                     (
-                        _scan_shard,
-                        (
-                            self.config, self.schedule, self.workers, index,
-                            self.batch, self.snapshot_dir,
-                        ),
-                    )
-                    for index in range(self.workers)
-                ],
-                progress,
-                "daily scans",
-            )
+                        self.config, schedule, self.workers, index,
+                        self.batch, self.snapshot_dir, seen_https,
+                    ),
+                )
+                for index in range(self.workers)
+            ],
+            progress,
+            "daily scans",
+        )
         dataset = merge_shard_datasets(shards)
-        stats = getattr(dataset, "run_stats", None) or RunStats()
-        stats = stats + self._run_ns_stage(dataset, progress)
-        if self.schedule.ech_days:
-            stats = stats + self._run_ech_stage(dataset, progress)
-        dataset.run_stats = stats
-        self.run_stats = stats
+        dataset = self.finish_slice(dataset, schedule, progress=progress)
+        self.run_stats = dataset.run_stats
         if progress is not None:
-            progress(f"run summary: {stats.summary()}")
+            progress(f"run summary: {dataset.run_stats.summary()}")
         return dataset
+
+    def prepare(self, progress: Optional[Callable[[str], None]] = None) -> None:
+        """One-time warm-up for multi-worker execution: materialise the
+        on-disk world snapshot so workers deserialize instead of build.
+
+        Build (and sign) the world exactly once, up front: process
+        workers deserialize the snapshot instead of repeating
+        construction, and concurrent thread workers load it too (the
+        registry pool only has the parent's single world, so without the
+        file the rest would each build their own)."""
+        if self.workers == 1 or self.snapshot_dir is None or self._snapshot_ready:
+            return
+        ensure_world_snapshot(self.config, self.snapshot_dir)
+        self._snapshot_ready = True
+        if progress is not None:
+            progress(f"world snapshot ready under {self.snapshot_dir}")
+
+    def run_shard(
+        self,
+        schedule: CampaignSchedule,
+        index: int,
+        seen_https: FrozenSet[str] = frozenset(),
+    ) -> Dataset:
+        """Stage 1 for a single (schedule × shard) increment: the daily
+        scans of shard *index* over *schedule*'s days, ECH/NS stages
+        deferred to :meth:`finish_slice`."""
+        [(_, part)] = self.run_shards(schedule, (index,), seen_https=seen_https)
+        return part
+
+    def run_shards(
+        self,
+        schedule: CampaignSchedule,
+        indices: Sequence[int],
+        seen_https: FrozenSet[str] = frozenset(),
+    ) -> Iterator[Tuple[int, Dataset]]:
+        """Stage 1 for several shards of *schedule* at once, saturating
+        the persistent pool (serial submission would leave N-1 workers
+        idle through the dominant stage). Yields (index, part) pairs in
+        completion order, so callers that checkpoint per increment can
+        journal each part the moment it lands."""
+        self.prepare()
+        seen = frozenset(seen_https)
+        args = {
+            index: (
+                self.config, schedule, self.workers, index,
+                self.batch, self.snapshot_dir, seen,
+            )
+            for index in indices
+        }
+        if self.workers == 1:
+            for index, task in args.items():
+                yield index, _scan_shard(*task)
+            return
+        futures = {
+            self._pool().submit(_scan_shard, *task): index
+            for index, task in args.items()
+        }
+        for future in concurrent.futures.as_completed(futures):
+            yield futures[future], future.result()
+
+    def finish_slice(
+        self,
+        dataset: Dataset,
+        schedule: CampaignSchedule,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dataset:
+        """Post-merge stages for one day-slice: the NS-IP scan and the
+        hourly ECH rescan, both of which need the slice's *merged* day
+        snapshots (target selection is global per day). Accumulates the
+        stage workers' transport counters onto ``dataset.run_stats``."""
+        stats = getattr(dataset, "run_stats", None) or RunStats()
+        stats = stats + self._run_ns_stage(dataset, schedule, progress)
+        if schedule.ech_days:
+            stats = stats + self._run_ech_stage(dataset, schedule, progress)
+        dataset.run_stats = stats
+        return dataset
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool_instance is not None:
+            self._pool_instance.shutdown()
+            self._pool_instance = None
+
+    def __enter__(self) -> "ParallelCampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- internals ---------------------------------------------------------
 
     def _pool(self):
-        if self.executor == "thread":
-            return concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
-        return concurrent.futures.ProcessPoolExecutor(max_workers=self.workers)
+        """The persistent worker pool, created on first use."""
+        if self._pool_instance is None:
+            if self.executor == "thread":
+                self._pool_instance = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers
+                )
+            else:
+                self._pool_instance = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+        return self._pool_instance
 
-    def _gather(self, pool, tasks, progress, label: str) -> list:
-        futures = [pool.submit(fn, *args) for fn, args in tasks]
+    def _execute(self, tasks, progress, label: str) -> list:
+        """Run (fn, args) *tasks* — on the persistent pool, or inline
+        when there is nothing to parallelise over (one worker)."""
+        if self.workers == 1:
+            return [fn(*args) for fn, args in tasks]
+        futures = [self._pool().submit(fn, *args) for fn, args in tasks]
         if progress is not None:
             done = 0
             for _ in concurrent.futures.as_completed(futures):
@@ -363,14 +501,16 @@ class ParallelCampaignRunner:
                 progress(f"{label}: shard {done}/{len(futures)} complete")
         return [future.result() for future in futures]
 
-    def _run_ns_stage(self, dataset: Dataset, progress) -> RunStats:
+    def _run_ns_stage(
+        self, dataset: Dataset, schedule: CampaignSchedule, progress
+    ) -> RunStats:
         """Scan each NS-IP-window day's name servers once over the merged
         snapshots (stage 1 skips them — popular name servers appear in
         every shard and would be scanned N times), sharded by hostname."""
         per_shard: List[Dict[datetime.date, List[str]]] = [
             {} for _ in range(self.workers)
         ]
-        for date in self.schedule.scan_days:
+        for date in schedule.scan_days:
             if date < timeline.NS_IP_WHOIS_SCAN_START:
                 continue
             snapshot = dataset.snapshots.get(date)
@@ -393,8 +533,7 @@ class ParallelCampaignRunner:
             )
         if not tasks:
             return RunStats()
-        with self._pool() as pool:
-            results = self._gather(pool, tasks, progress, "NS-IP scans")
+        results = self._execute(tasks, progress, "NS-IP scans")
         by_day: Dict[datetime.date, Dict[str, NameServerObservation]] = {}
         stage_stats = RunStats()
         for result, stats in results:
@@ -407,18 +546,20 @@ class ParallelCampaignRunner:
             }
         return stage_stats
 
-    def _run_ech_stage(self, dataset: Dataset, progress) -> RunStats:
+    def _run_ech_stage(
+        self, dataset: Dataset, schedule: CampaignSchedule, progress
+    ) -> RunStats:
         """Select hourly-rescan targets from the merged day snapshots
         (the same global rule the sequential runner applies), shard them
         by owner, and scan."""
         per_shard: List[Dict[datetime.date, List[str]]] = [
             {} for _ in range(self.workers)
         ]
-        for date in self.schedule.ech_days:
+        for date in schedule.ech_days:
             snapshot = dataset.snapshots.get(date)
             if snapshot is None:
                 continue
-            for name in ech_targets(snapshot, self.schedule.ech_sample):
+            for name in ech_targets(snapshot, schedule.ech_sample):
                 per_shard[self.plan.shard_of(name)].setdefault(date, []).append(name)
         tasks = []
         for day_targets in per_shard:
@@ -432,12 +573,12 @@ class ParallelCampaignRunner:
             )
         if not tasks:
             return RunStats()
-        with self._pool() as pool:
-            results = self._gather(pool, tasks, progress, "hourly ECH")
+        results = self._execute(tasks, progress, "hourly ECH")
         stage_stats = RunStats()
         for _, stats in results:
             stage_stats = stage_stats + stats
-        dataset.ech_observations = _canonical_ech_order(
+        new_rows = _canonical_ech_order(
             observation for result, _ in results for observation in result
         )
+        dataset.ech_observations = new_rows
         return stage_stats

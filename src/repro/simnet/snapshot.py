@@ -36,7 +36,12 @@ the pickled graph contains no wall-clock, filesystem, or RNG handles,
 and every derived cache inside it is a pure function of (config, time)
 — so a loaded (or reused) world produces datasets value-equal to a
 freshly built one. ``tests/test_snapshot.py`` locks this in for the
-daily, NS, ECH, and DNSSEC stages.
+daily, NS, ECH, and DNSSEC stages. Equality holds *across
+interpreters*, not just forked pool workers: per-process state (e.g.
+the str-hash seed behind a ``Name``'s cached hash) must never cross the
+pickle boundary, so a snapshot written by one session answers
+identically when a resumed collection loads it in a fresh process
+(``tests/test_names.py::TestPickling`` guards the one bug we hit).
 
 Snapshots do not survive code changes: the header records a fingerprint
 of the ``repro`` package source alongside :data:`SNAPSHOT_VERSION`, so

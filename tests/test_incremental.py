@@ -120,6 +120,51 @@ class TestEchOverlapDedupe:
         )
 
 
+class TestRunStatsRollUp:
+    """Regression: merge_datasets used to silently drop run_stats, so a
+    long collection reported no transport/coalescing totals at all."""
+
+    @staticmethod
+    def _dataset_with_stats(stats):
+        from repro.scanner import RunStats
+
+        dataset = Dataset(250, "imc2024-dnshttps", 14)
+        dataset.run_stats = None if stats is None else RunStats(**stats)
+        return dataset
+
+    def test_stats_sum_across_slices(self):
+        merged = merge_datasets([
+            self._dataset_with_stats({"dns_queries": 10, "tcp_connects": 2}),
+            self._dataset_with_stats({"dns_queries": 5, "coalesced_queries": 3}),
+        ])
+        assert merged.run_stats.dns_queries == 15
+        assert merged.run_stats.tcp_connects == 2
+        assert merged.run_stats.coalesced_queries == 3
+
+    def test_slices_without_stats_are_tolerated(self):
+        merged = merge_datasets([
+            self._dataset_with_stats(None),
+            self._dataset_with_stats({"dns_queries": 7}),
+            self._dataset_with_stats(None),
+        ])
+        assert merged.run_stats.dns_queries == 7
+
+    def test_no_stats_anywhere_stays_none(self):
+        merged = merge_datasets([
+            self._dataset_with_stats(None), self._dataset_with_stats(None)
+        ])
+        assert merged.run_stats is None
+
+    def test_live_slices_roll_up(self, slices):
+        first, second = slices
+        merged = merge_datasets([first, second])
+        assert merged.run_stats is not None
+        assert (
+            merged.run_stats.dns_queries
+            == first.run_stats.dns_queries + second.run_stats.dns_queries
+        )
+
+
 class TestContinuation:
     def test_window_after_last_day(self, slices):
         first, _second = slices

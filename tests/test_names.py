@@ -69,6 +69,40 @@ class TestParsing:
         assert len(name.labels[0]) == 63
 
 
+class TestPickling:
+    """Regression: Name used to pickle its cached hash, which bakes in
+    the writing interpreter's str-hash seed — a world snapshot loaded by
+    a *resumed* collection (a fresh interpreter, new seed) then missed
+    every dict lookup keyed by freshly constructed Names."""
+
+    def test_hash_and_key_caches_never_cross_a_pickle_boundary(self):
+        import pickle
+
+        name = Name.from_text("Example.COM.")
+        hash(name)  # populate both caches
+        assert name._hash is not None and name._key_cache is not None
+        clone = pickle.loads(pickle.dumps(name))
+        assert clone._hash is None and clone._key_cache is None
+        assert clone == name and hash(clone) == hash(name)
+        assert clone.to_text() == name.to_text()  # case preserved
+
+    def test_unpickled_name_hits_fresh_dicts(self):
+        import pickle
+
+        table = {Name.from_text("a.example."): 1}
+        stale = pickle.loads(pickle.dumps(Name.from_text("a.example.")))
+        assert table[stale] == 1
+
+    def test_empty_relative_name_round_trips(self):
+        # A falsy __getstate__ would make pickle skip __setstate__
+        # entirely, leaving the unpickled object with no slots assigned.
+        import pickle
+
+        empty = Name(())
+        clone = pickle.loads(pickle.dumps(empty))
+        assert clone == empty and clone.labels == ()
+
+
 class TestTextRendering:
     def test_round_trip(self):
         for text in ("example.com.", "a.b.c.d.e.", "xn--espaa-rta.es."):
