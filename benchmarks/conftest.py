@@ -7,16 +7,16 @@ results directory (untracked ``.bench_results/`` by default; set
 ``REPRO_BENCH_RECORD=1`` to deliberately refresh the committed
 ``bench_results/`` files — see :mod:`_results`).
 
-Environment knobs: ``REPRO_POPULATION`` (default 6000), ``REPRO_DAY_STEP``
-(default 7), ``REPRO_WORKERS`` (default 1 — set >1 to build the dataset
-through the sharded pipeline), ``REPRO_BATCH`` (default 0 — set to 1 to
-resolve scans through the batched resolution core), ``REPRO_SNAPSHOT``
-(default 0 — set to 1 to warm worker worlds from the on-disk world
-snapshot cache under ``.cache/worlds`` instead of rebuilding them),
-``REPRO_CONTINUOUS`` (default 0 — set to 1 to build the dataset through
-the continuous collector: day-slice × domain-shard increments folded
-against a checkpoint under ``.cache/checkpoints``). The dataset is
-identical under every knob combination.
+The dataset comes from a :class:`repro.study.Study`: the identity knobs
+``REPRO_POPULATION`` (default 6000) and ``REPRO_DAY_STEP`` (default 7)
+form the :class:`~repro.study.StudySpec`, and
+:meth:`repro.study.ExecutionPlan.from_env` absorbs the execution knobs —
+``REPRO_WORKERS`` (shard the campaign across N worker processes),
+``REPRO_BATCH`` (batched resolution core), ``REPRO_SNAPSHOT`` (warm
+worker worlds from the on-disk snapshot cache under ``.cache/worlds``),
+``REPRO_CONTINUOUS`` (build through the checkpointing continuous
+collector), and ``REPRO_GC`` (``pause`` suspends cyclic GC for the whole
+run). The dataset is identical under every knob combination.
 """
 
 from __future__ import annotations
@@ -25,18 +25,13 @@ import os
 
 import pytest
 
-from _results import env_flag, results_dir
-from repro.scanner import load_or_run_campaign
+from _results import results_dir
 from repro.simnet import SimConfig, World
+from repro.study import ExecutionPlan, Study, StudySpec
 
 BENCH_POPULATION = int(os.environ.get("REPRO_POPULATION", "6000"))
 BENCH_DAY_STEP = int(os.environ.get("REPRO_DAY_STEP", "7"))
-BENCH_WORKERS = int(os.environ.get("REPRO_WORKERS", "1"))
-BENCH_BATCH = env_flag("REPRO_BATCH")
-BENCH_SNAPSHOT = env_flag("REPRO_SNAPSHOT")
-BENCH_CONTINUOUS = env_flag("REPRO_CONTINUOUS")
 CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".cache")
-SNAPSHOT_DIR = os.path.join(CACHE_DIR, "worlds") if BENCH_SNAPSHOT else None
 RESULTS_DIR = results_dir()
 
 
@@ -47,15 +42,9 @@ def bench_config() -> SimConfig:
 
 @pytest.fixture(scope="session")
 def bench_dataset(bench_config):
-    return load_or_run_campaign(
-        bench_config,
-        day_step=BENCH_DAY_STEP,
-        cache_dir=CACHE_DIR,
-        workers=BENCH_WORKERS,
-        batch=BENCH_BATCH,
-        snapshot_dir=SNAPSHOT_DIR,
-        continuous=BENCH_CONTINUOUS,
-    )
+    spec = StudySpec(bench_config, day_step=BENCH_DAY_STEP)
+    with Study(spec, ExecutionPlan.from_env(cache_dir=CACHE_DIR)) as study:
+        return study.run()
 
 
 @pytest.fixture(scope="session")

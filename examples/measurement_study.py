@@ -7,51 +7,69 @@ seconds), and prints the headline analyses: adoption (Fig 2), name
 servers (Table 2), default-vs-custom configs (Table 4), the ECH disable
 event (Fig 13), key-rotation cadence (Fig 4), and DNSSEC (Table 9).
 
+The campaign is driven through the unified Study API
+(:mod:`repro.study`): a declarative :class:`~repro.study.StudySpec`
+names *what* is measured (world config + schedule — the dataset's cache
+identity) and an :class:`~repro.study.ExecutionPlan` names *how* it runs
+(workers, batching, checkpointing — guaranteed not to change the
+result).
+
 Run:  python examples/measurement_study.py [population]
 
 Pass ``--continuous`` to also walk through the paper's "longstanding
-framework" mode: the same campaign collected as arriving day-slice ×
+framework" mode: the same spec collected as arriving day-slice ×
 domain-shard increments against an on-disk checkpoint, interrupted
-mid-collection and resumed, with the folded longitudinal dataset
-checked value-equal to the one-shot run above.
+mid-collection, resumed with ``Study.resume()``, checked value-equal to
+the one-shot run, and published with ``Study.release()`` (dataset
+snapshot + figure CSVs + validated QA manifest).
 """
 
+import os
 import sys
 import tempfile
 
 from repro.analysis import adoption, dnssec_analysis, ech_analysis, nameservers, parameters
 from repro.reporting import render_comparison, render_series, render_table
-from repro.scanner import CollectionInterrupted, ContinuousCollector, run_campaign
-from repro.simnet import SimConfig, World
+from repro.scanner import CollectionInterrupted
+from repro.simnet import SimConfig
+from repro.study import ExecutionPlan, Study, StudySpec, validate_release
 
 
-def continuous_walkthrough(config: SimConfig, one_shot) -> None:
-    """Collect the same campaign incrementally: increments arrive, the
-    collection is "killed" partway, a fresh collector resumes from the
-    checkpoint, and the folded result equals the one-shot dataset."""
-    checkpoint = tempfile.mkdtemp(prefix="repro-checkpoint-")
+def continuous_walkthrough(spec: StudySpec, one_shot, workdir: str) -> None:
+    """Collect the same spec incrementally: increments arrive, the
+    collection is "killed" partway, ``resume()`` finishes it from the
+    checkpoint, the folded result equals the one-shot dataset, and
+    ``release()`` publishes it."""
+    plan = ExecutionPlan(
+        continuous=True,
+        workers=2,                 # two domain shards on a warm thread pool
+        days_per_increment=3,      # three scan days per arriving day-slice
+        max_increments=3,          # "crash" after three increments
+        executor="thread",
+        cache_dir=os.path.join(workdir, "cache-continuous"),
+        checkpoint_dir=os.path.join(workdir, "checkpoint"),
+        release_dir=os.path.join(workdir, "releases"),
+    )
     print("\ncontinuous collection walkthrough")
-    print(f"  checkpoint: {checkpoint}")
+    print(f"  checkpoint: {plan.checkpoint_dir}")
 
-    def collector() -> ContinuousCollector:
-        # Two domain shards, three scan days per arriving day-slice; the
-        # same arguments must be passed on every resume (the checkpoint
-        # rejects a different world, shard count, or partitioning).
-        return ContinuousCollector(
-            config, checkpoint, workers=2, days_per_increment=3,
-            day_step=28, ech_sample=60, executor="thread",
-        )
+    # One Study session spans the interrupt and the resume: its worker
+    # pool (and the workers' warm worlds) survives the "crash".
+    with Study(spec, plan) as study:
+        try:
+            study.run(progress=lambda msg: print(f"  {msg}"))
+        except CollectionInterrupted as exc:
+            print(f"  simulated crash: {exc}")
+        longitudinal = study.resume(progress=lambda msg: print(f"  {msg}"))
+        print(f"  resumed and finished: {len(longitudinal.days())} scan days, "
+              f"stats {longitudinal.run_stats.summary()}")
+        print(f"  value-equal to the one-shot campaign: {longitudinal == one_shot}")
 
-    try:
-        collector().collect(
-            progress=lambda msg: print(f"  {msg}"), max_increments=3
-        )
-    except CollectionInterrupted as exc:
-        print(f"  simulated crash: {exc}")
-    longitudinal = collector().collect(progress=lambda msg: print(f"  {msg}"))
-    print(f"  resumed and finished: {len(longitudinal.days())} scan days, "
-          f"stats {longitudinal.run_stats.summary()}")
-    print(f"  value-equal to the one-shot campaign: {longitudinal == one_shot}")
+        release_dir = study.release("v2024.03")
+        manifest = validate_release(release_dir)
+        print(f"  released {manifest['tag']!r} to {release_dir}: "
+              f"{len(manifest['files']) + 1} files, complete={manifest['complete']}, "
+              f"coverage gaps={manifest['coverage_gaps'] or 'none'}")
 
 
 def main() -> None:
@@ -60,11 +78,12 @@ def main() -> None:
     population = int(argv[0]) if argv else 1200
     print(f"building a {population}-domain Internet and scanning it "
           "(May 2023 - Mar 2024, monthly samples + the hourly ECH week)...")
-    config = SimConfig(population=population)
-    world = World(config)
-    dataset = run_campaign(world, day_step=28, ech_sample=60)
+    spec = StudySpec(SimConfig(population=population), day_step=28, ech_sample=60)
+    workdir = tempfile.mkdtemp(prefix="repro-study-")
+    with Study(spec, ExecutionPlan(cache_dir=os.path.join(workdir, "cache"))) as study:
+        dataset = study.run()
     print(f"done: {len(dataset.days())} scan days, "
-          f"{world.network.dns_query_count} DNS queries, "
+          f"{dataset.run_stats.dns_queries} DNS queries, "
           f"{len(dataset.ech_observations)} hourly ECH sightings\n")
 
     summary = adoption.summarize(dataset)
@@ -83,7 +102,7 @@ def main() -> None:
     print()
     print(render_comparison(
         "Name servers (Table 2)",
-        [("full-Cloudflare share", "99.89%", f"{stats.full_mean_pct:.2f}% (non-CF cohort oversampled x{config.noncf_boost:.0f})")],
+        [("full-Cloudflare share", "99.89%", f"{stats.full_mean_pct:.2f}% (non-CF cohort oversampled x{spec.config.noncf_boost:.0f})")],
     ))
 
     table4 = parameters.table4_default_vs_custom(dataset)
@@ -116,7 +135,7 @@ def main() -> None:
     ))
 
     if with_continuous:
-        continuous_walkthrough(config, dataset)
+        continuous_walkthrough(spec, dataset, workdir)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,9 @@ Layers (bottom-up):
 * :mod:`repro.simnet` / :mod:`repro.whois` — the simulated Internet:
   20k-domain Tranco-like population, provider models, study timeline;
 * :mod:`repro.scanner` — the paper's measurement framework (§4.1);
+* :mod:`repro.study` — the unified Study API: declarative
+  StudySpec/ExecutionPlan compiled into a run/resume/release session
+  (the front door for running measurement studies);
 * :mod:`repro.analysis` — the §4 server-side analyses (every table/figure);
 * :mod:`repro.browser` — the §5 client-side testbed and browser models;
 * :mod:`repro.reporting` — output rendering for the benchmark harness.

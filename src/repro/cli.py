@@ -115,6 +115,13 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
                              "(exit status 3; the checkpoint resumes on the "
                              "next invocation)")
     parser.add_argument("--export", metavar="DIR", help="write figure CSVs to DIR")
+    parser.add_argument("--release", metavar="TAG", default=None,
+                        help="after the campaign completes, cut release TAG: "
+                             "dataset snapshot + figure CSVs + QA manifest "
+                             "under <release-dir>/TAG (refuses to overwrite "
+                             "an existing tag)")
+    parser.add_argument("--release-dir", metavar="DIR", default=None,
+                        help="root directory for --release (default: releases)")
     parser.add_argument("--cache-dir", default=".cache")
     args = parser.parse_args(argv)
 
@@ -128,10 +135,19 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
         ]
         if given:
             parser.error(f"{', '.join(given)} requires --continuous")
+    if args.release_dir is not None and args.release is None:
+        parser.error("--release-dir requires --release")
+    if args.release is not None and (
+        not args.release or "/" in args.release or args.release in (".", "..")
+    ):
+        # Fail before the campaign runs, not after (Study.release would
+        # reject the tag anyway, but hours too late).
+        parser.error(f"invalid release tag {args.release!r}")
 
     from .analysis import adoption, ech_analysis, nameservers
     from .reporting import render_comparison
-    from .scanner import CollectionInterrupted, load_or_run_campaign
+    from .scanner import CollectionInterrupted
+    from .study import ExecutionPlan, Study, StudyError, StudySpec, validate_release
 
     import os
 
@@ -139,51 +155,69 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
     if not args.no_snapshot:
         snapshot_dir = args.snapshot_dir or os.path.join(args.cache_dir, "worlds")
 
-    config = SimConfig(population=args.population)
-    try:
-        dataset = load_or_run_campaign(
-            config,
-            day_step=args.day_step,
-            cache_dir=args.cache_dir,
-            workers=args.workers,
-            batch=args.batch,
-            snapshot_dir=snapshot_dir,
-            continuous=args.continuous,
-            checkpoint_dir=args.checkpoint_dir,
-            days_per_increment=args.increment_days or 7,
-            max_increments=args.max_increments,
-            ech_sample=args.ech_sample,
-        )
-    except CollectionInterrupted as exc:
-        print(f"repro-scan: {exc}", file=sys.stderr)
-        return 3
-    summary = adoption.summarize(dataset)
-    stats = nameservers.table2_ns_shares(dataset)
-    event = ech_analysis.detect_disable_event(dataset)
-    print(render_comparison(
-        f"Campaign summary (population {args.population}, every {args.day_step} days)",
-        [
-            ("adoption band", "20-27%", f"{summary.dynamic_apex_start:.1f}-{summary.dynamic_apex_end:.1f}%"),
-            ("full-Cloudflare NS share", "99.89%", f"{stats.full_mean_pct:.2f}%"),
-            ("ECH before/after Oct 5", "~70% / 0%",
-             f"{event.pre_disable_mean_pct:.1f}% / {event.post_disable_max_pct:.1f}%"),
-        ],
-    ))
-    stats = getattr(dataset, "run_stats", None)
-    if stats is not None:
-        if getattr(dataset, "loaded_from_cache", False):
-            # A cache hit did no resolution work; the counters describe
-            # the run that originally built the dataset.
-            print(f"\nrun stats (cached dataset's originating run): {stats.summary()}")
-        else:
-            print(f"\nrun stats: {stats.summary()}")
-    if args.export:
-        from .reporting.export import export_figure_data
-
-        written = export_figure_data(dataset, args.export)
-        print(f"\nwrote {len(written)} files to {args.export}:")
-        for path in written:
-            print(f"  {path}")
+    spec = StudySpec(
+        SimConfig(population=args.population),
+        day_step=args.day_step,
+        ech_sample=args.ech_sample,
+    )
+    plan = ExecutionPlan(
+        workers=args.workers,
+        batch=args.batch,
+        snapshot_dir=snapshot_dir,
+        cache_dir=args.cache_dir,
+        continuous=args.continuous,
+        checkpoint_dir=args.checkpoint_dir,
+        days_per_increment=args.increment_days or 7,
+        max_increments=args.max_increments,
+        release_dir=args.release_dir or "releases",
+    )
+    with Study(spec, plan) as study:
+        try:
+            dataset = study.run()
+        except CollectionInterrupted as exc:
+            print(f"repro-scan: {exc}", file=sys.stderr)
+            return 3
+        summary = adoption.summarize(dataset)
+        stats = nameservers.table2_ns_shares(dataset)
+        event = ech_analysis.detect_disable_event(dataset)
+        print(render_comparison(
+            f"Campaign summary (population {args.population}, every {args.day_step} days)",
+            [
+                ("adoption band", "20-27%", f"{summary.dynamic_apex_start:.1f}-{summary.dynamic_apex_end:.1f}%"),
+                ("full-Cloudflare NS share", "99.89%", f"{stats.full_mean_pct:.2f}%"),
+                ("ECH before/after Oct 5", "~70% / 0%",
+                 f"{event.pre_disable_mean_pct:.1f}% / {event.post_disable_max_pct:.1f}%"),
+            ],
+        ))
+        stats = getattr(dataset, "run_stats", None)
+        if stats is not None:
+            if getattr(dataset, "loaded_from_cache", False):
+                # A cache hit did no resolution work; the counters describe
+                # the run that originally built the dataset.
+                print(f"\nrun stats (cached dataset's originating run): {stats.summary()}")
+            else:
+                print(f"\nrun stats: {stats.summary()}")
+        if args.export:
+            written = study.export(args.export)
+            print(f"\nwrote {len(written)} files to {args.export}:")
+            for path in written:
+                print(f"  {path}")
+        if args.release:
+            try:
+                directory = study.release(args.release)
+            except (StudyError, ValueError) as exc:
+                # e.g. the tag already exists — a rerun of the same
+                # resume command after the release was cut.
+                print(f"repro-scan: {exc}", file=sys.stderr)
+                return 4
+            manifest = validate_release(directory)
+            days = manifest["scan_days"]
+            print(f"\nrelease {args.release!r} written to {directory} "
+                  f"({len(manifest['files']) + 1} files, validated)")
+            print(f"  scan days: {days['count']} ({days['first']}..{days['last']})"
+                  f"{'' if manifest['complete'] else ' — INCOMPLETE'}")
+            if manifest["coverage_gaps"]:
+                print(f"  cadence gaps: {', '.join(manifest['coverage_gaps'])}")
     return 0
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import datetime
 import sys
+import warnings
 from typing import AbstractSet, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..dnscore import rdtypes
@@ -28,7 +29,7 @@ from ..dnssec.validation import ChainValidator
 from ..simnet import timeline
 from ..simnet.config import SimConfig
 from ..simnet.world import World
-from .dataset import DailySnapshot, Dataset, cache_path
+from .dataset import DailySnapshot, Dataset
 from .engine import ScanEngine
 
 
@@ -505,94 +506,35 @@ def load_or_run_campaign(
     max_increments: Optional[int] = None,
     **kwargs,
 ) -> Dataset:
-    """Return a cached dataset for (config, day_step) or run the campaign.
+    """Deprecated: build a :class:`~repro.study.Study` instead.
 
-    ``workers > 1`` shards the campaign across processes via
-    :class:`~repro.scanner.pipeline.ParallelCampaignRunner`; ``batch``
-    resolves each shard's scans through the batched resolution core;
-    ``snapshot_dir`` serves each worker's world from the on-disk world
-    snapshot cache (:mod:`~repro.simnet.snapshot`) instead of rebuilding
-    it. All three knobs produce datasets equal to the sequential serial
-    run, so they deliberately stay out of the cache key (any combination
-    can reuse the same dataset).
-
-    ``continuous=True`` instead drives the campaign through the
-    incremental :class:`~repro.scanner.collector.ContinuousCollector`:
-    day-slice × domain-shard increments executed one at a time against
-    an on-disk checkpoint under *checkpoint_dir* (default: a key-scoped
-    directory under ``<cache_dir>/checkpoints``), resumable after an
-    interruption. The final dataset is value-equal to the one-shot run,
-    but the continuous knobs *do* join the cache key: a half-finished
-    checkpoint and a cached one-shot dataset must never alias each
-    other, so continuous runs keep their own cache entry.
-    ``max_increments`` bounds how many pending increments this call may
-    execute before raising
-    :class:`~repro.scanner.collector.CollectionInterrupted` (the
-    checkpoint is kept; a later call resumes).
+    Thin shim over the unified Study API — the schedule kwargs become a
+    :class:`~repro.study.StudySpec`, the execution knobs an
+    :class:`~repro.study.ExecutionPlan`, and the dataset comes from
+    ``Study.run()``. Cache paths are byte-identical to the pre-Study
+    keys (one-shot and continuous), so existing ``.cache`` entries keep
+    hitting. Unlike the old surface, a misspelled schedule kwarg now
+    raises ``TypeError`` instead of being silently cache-keyed.
     """
-    config = config if config is not None else SimConfig.from_env()
-    # The cache key covers every campaign kwarg (canonically) and every
-    # config field, so cohort-parameter changes invalidate stale datasets.
-    tag_kwargs = dict(kwargs)
-    if continuous:
-        # Continuous runs key separately (see docstring); the increment
-        # partitioning joins too so a checkpoint laid out for one
-        # partition is never resumed under another key.
-        tag_kwargs.update(continuous=True, days_per_increment=days_per_increment)
-    tag = canonical_cache_tag(tag_kwargs) + "|" + repr(dataclasses.astuple(config))
-    path = cache_path(cache_dir, config.population, config.seed, day_step, tag=tag)
-    try:
-        return Dataset.load(path)
-    except (OSError, EOFError, TypeError):
-        pass
+    from ..study import ExecutionPlan, Study, StudySpec
+
+    warnings.warn(
+        "load_or_run_campaign is deprecated; build a repro.study.Study "
+        "from a StudySpec and an ExecutionPlan instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = StudySpec(config, day_step=day_step, **kwargs)
+    plan = ExecutionPlan(
+        workers=workers,
+        batch=batch,
+        snapshot_dir=snapshot_dir,
+        cache_dir=cache_dir,
+        continuous=continuous,
+        checkpoint_dir=checkpoint_dir,
+        days_per_increment=days_per_increment,
+        max_increments=max_increments,
+    )
     progress = (lambda msg: print(msg, file=sys.stderr)) if verbose else None
-    if continuous:
-        from .collector import ContinuousCollector
-        from .dataset import checkpoint_dir_path
-
-        if checkpoint_dir is None:
-            checkpoint_dir = checkpoint_dir_path(
-                cache_dir, config.population, config.seed, day_step, tag=tag
-            )
-        collector = ContinuousCollector(
-            config,
-            checkpoint_dir,
-            workers=workers,
-            day_step=day_step,
-            days_per_increment=days_per_increment,
-            batch=batch,
-            snapshot_dir=snapshot_dir,
-            **kwargs,
-        )
-        dataset = collector.collect(progress=progress, max_increments=max_increments)
-    elif workers > 1:
-        from .pipeline import ParallelCampaignRunner
-
-        runner = ParallelCampaignRunner(
-            config, workers=workers, day_step=day_step, batch=batch,
-            snapshot_dir=snapshot_dir, **kwargs
-        )
-        dataset = runner.run(progress=progress)
-    elif snapshot_dir is not None:
-        # Warm-up through the snapshot cache + registry; the world is
-        # parked for reuse by later runs in this process.
-        from ..simnet.snapshot import checkin_world, checkout_world
-
-        world = checkout_world(config, snapshot_dir)
-        try:
-            dataset = run_campaign(
-                world, day_step=day_step, progress=progress, batch=batch, **kwargs
-            )
-        finally:
-            checkin_world(world)
-    else:
-        # No snapshotting requested: build a throwaway world (pooling it
-        # would pin one world per config tag for the process lifetime).
-        dataset = run_campaign(
-            World(config), day_step=day_step, progress=progress, batch=batch, **kwargs
-        )
-    try:
-        dataset.save(path)
-    except OSError:  # pragma: no cover - cache dir not writable
-        pass
-    return dataset
+    with Study(spec, plan) as study:
+        return study.run(progress=progress)

@@ -64,6 +64,7 @@ import dataclasses
 import datetime
 import json
 import os
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..simnet.config import SimConfig
@@ -212,9 +213,18 @@ class CheckpointStore:
         rel = self._journal.get((slice_index, shard_index))
         if rel is None:
             return None
+        path = os.path.join(self.directory, rel)
         try:
-            return Dataset.load(os.path.join(self.directory, rel))
-        except Exception:  # missing/corrupt part: treat as not done
+            return Dataset.load(path)
+        except Exception as exc:  # missing/corrupt part: treat as not done
+            # The journal promised this file; say why the increment is
+            # re-running instead of silently repeating the work.
+            warnings.warn(
+                f"re-running increment (slice {slice_index}, shard "
+                f"{shard_index}): journalled part {path} is unreadable: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def has_part(self, slice_index: int, shard_index: int) -> bool:
@@ -262,7 +272,15 @@ class CheckpointStore:
     def load_merged(self) -> Optional[Dataset]:
         try:
             return Dataset.load(self._merged_path)
-        except (OSError, EOFError, TypeError):
+        except FileNotFoundError:  # fresh checkpoint: no fold yet
+            return None
+        except (OSError, EOFError, TypeError) as exc:
+            warnings.warn(
+                f"ignoring unreadable merged dataset {self._merged_path}: "
+                f"{exc} (the fold restarts from the journalled parts)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def save_merged(self, dataset: Dataset) -> None:
@@ -307,11 +325,13 @@ class ContinuousCollector:
         batch: bool = False,
         snapshot_dir: Optional[str] = None,
         executor: str = "process",
+        keep_alive: bool = False,
     ):
         if days_per_increment < 1:
             raise ValueError("need at least one scan day per increment")
         self.config = config if config is not None else SimConfig()
         self.checkpoint_dir = checkpoint_dir
+        self.keep_alive = bool(keep_alive)
         self.workers = max(1, int(workers))
         self.days_per_increment = int(days_per_increment)
         self.schedule = build_schedule(
@@ -390,11 +410,17 @@ class ContinuousCollector:
         max_increments: Optional[int] = None,
     ) -> Dataset:
         """Run every pending increment, folding and checkpointing as they
-        complete, and return the finished longitudinal dataset."""
+        complete, and return the finished longitudinal dataset.
+
+        With ``keep_alive=True`` the runner's warm worker pool survives
+        the call (interrupt-and-resume loops — e.g. a
+        :class:`~repro.study.Study` session — reuse it); the owner then
+        calls :meth:`close`."""
         try:
             return self._collect(progress, max_increments)
         finally:
-            self.runner.close()
+            if not self.keep_alive:
+                self.runner.close()
 
     def close(self) -> None:
         """Release the runner's worker pool (collect() does this itself;
@@ -469,6 +495,14 @@ class ContinuousCollector:
         if progress is not None and merged.run_stats is not None:
             progress(f"collection summary: {merged.run_stats.summary()}")
         return merged
+
+
+def has_checkpoint(checkpoint_dir: str) -> bool:
+    """Whether *checkpoint_dir* holds an initialised collection
+    checkpoint (its identity header exists). Read-only probes use this
+    to avoid constructing a :class:`CheckpointStore`, which would lay
+    down a fresh header as a side effect."""
+    return os.path.exists(os.path.join(checkpoint_dir, _META))
 
 
 def load_checkpoint_dataset(checkpoint_dir: str) -> Dataset:

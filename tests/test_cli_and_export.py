@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.cli import dig_main, tables_main
+from repro.cli import dig_main, scan_main, tables_main
 from repro.reporting.export import (
     export_figure_data,
     multi_series_to_csv,
@@ -81,3 +81,18 @@ class TestCli:
         assert rc == 0
         assert "Split Mode" in out
         assert "Table 6" not in out
+
+    def test_scan_continuous_flags_require_continuous(self, capsys):
+        with pytest.raises(SystemExit):
+            scan_main(["--max-increments", "2"])
+        assert "requires --continuous" in capsys.readouterr().err
+
+    def test_scan_release_dir_requires_release(self, capsys):
+        with pytest.raises(SystemExit):
+            scan_main(["--release-dir", "out"])
+        assert "requires --release" in capsys.readouterr().err
+
+    def test_scan_rejects_bad_release_tag(self, capsys):
+        with pytest.raises(SystemExit):
+            scan_main(["--release", "v1/beta"])
+        assert "invalid release tag" in capsys.readouterr().err
