@@ -58,7 +58,10 @@ def analyze_intermittency(dataset: Dataset) -> IntermittencyReport:
     saw_no_ns: Dict[str, bool] = defaultdict(bool)
     for day in days:
         snapshot = dataset.snapshot(day)
-        for name in always_listed:
+        # sorted: presence/ns_history insertion order must not depend on
+        # the str-hash seed (the report only sums, but a stable order
+        # keeps any future per-domain output deterministic too).
+        for name in sorted(always_listed):
             obs = snapshot.apex.get(name)
             has = obs is not None
             presence[name].append(has)

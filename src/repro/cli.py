@@ -1,7 +1,10 @@
 """Command-line tools.
 
 * ``repro-dig``    — dig-style queries against a simulated world
-* ``repro-scan``   — run a scan campaign and print/export the analyses
+* ``repro-scan``   — run a scan campaign and print/export the analyses;
+  subcommands ``lint-code`` (the :mod:`repro.devtools.codelint` AST
+  invariant linter) and ``lint-zone`` (the §7 zone linter against
+  simulated zones)
 * ``repro-tables`` — regenerate the browser support tables (6 and 7)
 
 All are thin wrappers over the library; they exist so the reproduction
@@ -74,9 +77,18 @@ def dig_main(argv: Optional[List[str]] = None) -> int:
 # ---------------------------------------------------------------------------
 
 def scan_main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Lint subcommands ride on repro-scan (`repro-scan lint-code src/`,
+    # `repro-scan lint-zone shop.example`) so the operational surface
+    # stays one executable; everything else is the campaign runner.
+    if argv[:1] == ["lint-code"]:
+        return lint_code_main(argv[1:])
+    if argv[:1] == ["lint-zone"]:
+        return lint_zone_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-scan",
-        description="Run the measurement campaign and print headline analyses.",
+        description="Run the measurement campaign and print headline analyses "
+                    "(subcommands: lint-code, lint-zone).",
     )
     parser.add_argument("--population", type=int, default=2000)
     parser.add_argument("--day-step", type=int, default=28)
@@ -222,6 +234,73 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro-scan lint-code / lint-zone
+# ---------------------------------------------------------------------------
+
+def lint_code_main(argv: Optional[List[str]] = None) -> int:
+    """The AST invariant linter (same as ``python -m repro.devtools.codelint``)."""
+    from .devtools.codelint import main as codelint_main
+
+    return codelint_main(argv)
+
+
+def lint_zone_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-scan lint-zone",
+        description="Lint simulated zones for the paper's §4 HTTPS-record "
+                    "misconfigurations (repro.manage.linter).",
+    )
+    parser.add_argument("domains", nargs="*",
+                        help="apex domains to lint (default: every domain "
+                             "on the simulated Tranco list for --date)")
+    parser.add_argument("--date", type=_parse_date, default=timeline.STUDY_START,
+                        help="simulation date (YYYY-MM-DD)")
+    parser.add_argument("--population", type=int, default=2000)
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default text)")
+    args = parser.parse_args(argv)
+
+    from .devtools.codelint.findings import (
+        Severity, render_json, render_text, severity_counts,
+    )
+    from .manage import lint_zone
+
+    world = World(SimConfig(population=args.population))
+    world.set_time(args.date)
+    hour = world.absolute_hour()
+    if args.domains:
+        profiles = []
+        for text in args.domains:
+            profile = world.profile_by_name(text)
+            if profile is None:
+                parser.error(f"no such domain {text!r} in a population-"
+                             f"{args.population} world")
+            profiles.append(profile)
+    else:
+        profiles = world.listed_profiles(args.date)
+
+    findings = []
+    for profile in profiles:
+        findings.extend(lint_zone(
+            world.zone_of(profile), ech_manager=world.ech_manager,
+            current_hour=hour,
+        ))
+    if args.format == "json":
+        print(render_json(
+            findings, date=args.date.isoformat(), zones=len(profiles),
+        ))
+    else:
+        if findings:
+            print(render_text(findings))
+        counts = severity_counts(findings)
+        summary = ", ".join(
+            f"{count} {severity}" for severity, count in counts.items() if count
+        ) or "clean"
+        print(f"lint-zone: {len(profiles)} zone(s) on {args.date}: {summary}")
+    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
+
+
+# ---------------------------------------------------------------------------
 # repro-tables
 # ---------------------------------------------------------------------------
 
@@ -257,6 +336,10 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - dispatc
             return scan_main(rest)
         if command == "tables":
             return tables_main(rest)
+        if command == "lint-code":
+            return lint_code_main(rest)
+        if command == "lint-zone":
+            return lint_zone_main(rest)
     except BrokenPipeError:  # output piped into head etc.
         return 0
     print(f"unknown command {command!r}", file=sys.stderr)

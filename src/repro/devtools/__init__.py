@@ -1,0 +1,8 @@
+"""Developer tooling for the reproduction itself.
+
+The paper's §7 thesis — misconfigurations in the measured ecosystem are
+mechanically detectable, so they should be linted away before they ship
+— applies just as well to this codebase.  ``repro.devtools`` hosts the
+tooling that enforces the reproduction's own invariants (determinism,
+cache identity, pickle/hash stability); see :mod:`repro.devtools.codelint`.
+"""

@@ -1,0 +1,66 @@
+"""codelint — AST-based invariant linter for this reproduction's source.
+
+The paper argues (§7) that the misconfigurations it measures are
+mechanically detectable; ``repro.manage.linter`` implements that for
+zones.  This package applies the same thesis to the reproduction's own
+code: the silent-corruption bugs PRs 1-5 each shipped (unstable cache
+tags, pickled hash caches, typo'd kwargs forking the cache) are members
+of a few mechanically-detectable classes, enforced here as lint rules
+that CI gates on.  See README.md next to this file for the rule
+catalogue and the incident history behind each rule.
+
+Public surface::
+
+    from repro.devtools.codelint import lint_paths, main
+    findings = lint_paths(["src"])           # List[Finding]
+    sys.exit(main(["src"]))                  # the CLI, programmatically
+
+Suppression: append ``# codelint: disable=CODE[,CODE...]`` to the line
+a finding is reported on.  Unknown codes are rejected (SUP01) so a
+suppression can never silently rot.  Grandfathered findings live in the
+committed ``codelint-baseline.json`` (see :mod:`.baseline`).
+"""
+
+from .baseline import (
+    BaselineError,
+    DEFAULT_BASELINE,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from .cli import main
+from .engine import (
+    RESTRICTED_SUBSYSTEMS,
+    Rule,
+    SourceFile,
+    all_rules,
+    known_codes,
+    lint_paths,
+    lint_source,
+    parse_source,
+    register,
+)
+from .findings import Finding, Severity, render_json, render_text
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+
+__all__ = [
+    "BaselineError",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "RESTRICTED_SUBSYSTEMS",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "all_rules",
+    "known_codes",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "parse_source",
+    "partition",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,91 @@
+"""Committed baseline for grandfathered findings.
+
+A baseline lets the linter gate CI from day one: pre-existing findings
+that are deliberately tolerated live in a committed JSON file, and only
+*new* findings fail the build.  Entries are keyed by
+:meth:`Finding.identity` — code + file + message, **no line numbers** —
+so editing an unrelated part of a file never churns the baseline, while
+a second occurrence of a baselined pattern in the same file does fail
+(counts are per-identity).
+
+The project policy (ISSUE 6) is to *fix* true positives rather than
+baseline them, so the committed baseline should stay empty; the
+machinery exists so a future grandfathered finding is an explicit,
+reviewed diff instead of a silent suppression.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+from typing import Counter, Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "codelint-baseline.json"
+_MAGIC = "repro-codelint-baseline"
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or not a baseline."""
+
+
+def load_baseline(path: str) -> Counter:
+    """``identity → tolerated count`` from a baseline file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise BaselineError(f"{path} is not a codelint baseline")
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline version {payload.get('version')!r} != {BASELINE_VERSION} in {path}"
+        )
+    findings = payload.get("findings", {})
+    if not isinstance(findings, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in findings.items()
+    ):
+        raise BaselineError(f"malformed findings table in {path}")
+    return collections.Counter(findings)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> Counter:
+    """Serialize *findings* as the new baseline (atomic replace)."""
+    counts = collections.Counter(f.identity() for f in findings)
+    payload = {
+        "magic": _MAGIC,
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(counts.items())),
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return counts
+
+
+def partition(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split into (new, baselined).
+
+    Each baseline entry absorbs up to its recorded count of matching
+    findings; the overflow — and anything unmatched — is new.
+    """
+    budget: Dict[str, int] = dict(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        identity = finding.identity()
+        if budget.get(identity, 0) > 0:
+            budget[identity] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

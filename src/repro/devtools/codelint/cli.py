@@ -1,0 +1,117 @@
+"""The codelint command line.
+
+Run as ``python -m repro.devtools.codelint [paths...]`` or
+``repro-scan lint-code [paths...]``.  Exit codes CI can gate on:
+
+* ``0`` — no findings beyond the committed baseline
+* ``1`` — new findings (printed, and in the JSON report)
+* ``2`` — usage error / unreadable baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import baseline as baseline_mod
+from .engine import all_rules, lint_paths
+from .findings import Finding, render_json, render_text, severity_counts
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if os.path.isdir("src") else ["."]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="codelint",
+        description="AST-based invariant linter for determinism, cache "
+                    "identity, and pickle/hash stability.",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to lint (default: src/ if "
+                             "present, else .)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format on stdout (default text)")
+    parser.add_argument("--json-out", metavar="FILE", default=None,
+                        help="additionally write the JSON report to FILE "
+                             "(CI artifact)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {baseline_mod.DEFAULT_BASELINE} "
+                             "when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file (every finding is new)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from this run's findings "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _rule_catalogue() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code} [{rule.severity.value}] {rule.name}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_rule_catalogue())
+        return 0
+    if args.no_baseline and (args.baseline or args.write_baseline):
+        parser.error("--no-baseline conflicts with --baseline/--write-baseline")
+
+    paths = args.paths or _default_paths()
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    findings = lint_paths(paths)
+
+    baseline_path = args.baseline or baseline_mod.DEFAULT_BASELINE
+    if args.write_baseline:
+        counts = baseline_mod.write_baseline(baseline_path, findings)
+        print(f"codelint: wrote {sum(counts.values())} finding(s) "
+              f"({len(counts)} identities) to {baseline_path}")
+        return 0
+
+    grandfathered: List[Finding] = []
+    if not args.no_baseline and (args.baseline or os.path.exists(baseline_path)):
+        try:
+            tolerated = baseline_mod.load_baseline(baseline_path)
+        except baseline_mod.BaselineError as exc:
+            print(f"codelint: {exc}", file=sys.stderr)
+            return 2
+        findings, grandfathered = baseline_mod.partition(findings, tolerated)
+
+    report_extra = {
+        "baseline": {
+            "path": baseline_path if grandfathered else None,
+            "grandfathered": len(grandfathered),
+        },
+        "new": len(findings),
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(findings, **report_extra))
+            handle.write("\n")
+    if args.format == "json":
+        print(render_json(findings, **report_extra))
+    else:
+        if findings:
+            print(render_text(findings))
+        counts = severity_counts(findings)
+        summary = ", ".join(
+            f"{count} {severity}" for severity, count in counts.items() if count
+        ) or "clean"
+        suffix = f" ({len(grandfathered)} baselined)" if grandfathered else ""
+        print(f"codelint: {summary}{suffix}")
+    return 1 if findings else 0

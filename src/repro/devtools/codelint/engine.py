@@ -1,0 +1,266 @@
+"""The codelint engine: source model, rule registry, suppressions, walker.
+
+A :class:`Rule` inspects one parsed :class:`SourceFile` and yields
+:class:`~repro.devtools.codelint.findings.Finding` objects.  The engine
+owns everything rules share: turning a path into a dotted module name
+(so rules can scope themselves to the determinism-restricted
+subsystems), the ``# codelint: disable=CODE[,CODE...]`` inline
+suppression syntax (unknown codes are themselves findings — a
+suppression that silently never matched would be worse than none), and
+the directory walker.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, Severity
+
+#: Subsystems where stochastic behaviour must route through
+#: ``simnet/determinism.py`` (dataset identity depends on them being
+#: pure functions of the world seed).
+RESTRICTED_SUBSYSTEMS = ("dnscore", "resolver", "scanner", "simnet", "zones")
+
+#: The one module allowed to own pseudo-randomness.
+DETERMINISM_MODULE = "repro.simnet.determinism"
+
+#: The one module allowed to toggle the cyclic GC (PR 3's refcounted
+#: pause helper; a bare disable/enable pair elsewhere can re-enable GC
+#: inside someone else's pause window).
+GCUTILS_MODULE = "repro.gcutils"
+
+_SUPPRESS_RE = re.compile(r"codelint:\s*disable=([A-Za-z0-9_\-, ]*)")
+
+PARSE_CODE = "PARSE"
+SUPPRESS_CODE = "SUP01"
+
+
+def module_guess(path: str) -> str:
+    """Best-effort dotted module for *path*.
+
+    ``src/repro/simnet/world.py`` → ``repro.simnet.world``.  Anchors on
+    the last ``repro`` path component when present, else strips a
+    leading ``src``; a bare file outside any package keeps just its
+    stem (project-scoped rules then stay quiet).
+    """
+    parts = list(os.path.normpath(path).replace(os.sep, "/").split("/"))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    elif "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    else:
+        parts = parts[-1:]
+    return ".".join(part for part in parts if part not in ("", ".", ".."))
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus everything rules need to scope and
+    suppress their findings."""
+
+    path: str
+    text: str
+    tree: ast.AST
+    module: str
+    #: physical line → frozenset of (upper-cased) codes disabled there.
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def module_parts(self) -> Tuple[str, ...]:
+        return tuple(self.module.split(".")) if self.module else ()
+
+    @property
+    def subsystem(self) -> Optional[str]:
+        """The top-level ``repro`` subpackage (``simnet``, ``scanner``,
+        ...), or None when the file is not under the package."""
+        parts = self.module_parts
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return None
+
+    @property
+    def determinism_restricted(self) -> bool:
+        return (
+            self.subsystem in RESTRICTED_SUBSYSTEMS
+            and self.module != DETERMINISM_MODULE
+        )
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and implement
+    :meth:`check`.  ``rationale`` records the invariant the rule
+    protects and the historical bug motivating it (rendered by
+    ``--list-rules`` and the README)."""
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    rationale: str = ""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        src: SourceFile,
+        node: Optional[ast.AST],
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0) if node is not None else 0
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            self.code, severity or self.severity, src.path, message,
+            line=line, col=col,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if not rule.code or rule.code in _REGISTRY:
+        raise ValueError(f"duplicate or empty rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def known_codes() -> Set[str]:
+    """Codes a suppression comment may legally name."""
+    return set(_REGISTRY) | {PARSE_CODE}
+
+
+def _extract_suppressions(text: str) -> Dict[int, Set[str]]:
+    """``line → codes`` from ``# codelint: disable=...`` comments.
+
+    Comments are found with :mod:`tokenize` so string literals that
+    merely *contain* the pattern don't suppress anything; an empty code
+    list is recorded (and later rejected) rather than ignored.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = {
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        }
+        suppressions.setdefault(token.start[0], set()).update(codes or {""})
+    return suppressions
+
+
+def parse_source(
+    path: str, text: Optional[str] = None, module: Optional[str] = None
+) -> SourceFile:
+    """Parse *path* (or the given *text*) into a :class:`SourceFile`.
+
+    *module* overrides the dotted-module guess — fixture tests use this
+    to exercise subsystem-scoped rules on files that live outside the
+    package.  Raises :class:`SyntaxError` on unparseable source (the
+    walker turns that into a ``PARSE`` finding).
+    """
+    if text is None:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    tree = ast.parse(text, filename=path)
+    return SourceFile(
+        path=path,
+        text=text,
+        tree=tree,
+        module=module if module is not None else module_guess(path),
+        suppressions=_extract_suppressions(text),
+    )
+
+
+def lint_source(
+    src: SourceFile, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """All findings for one file: rule output plus suppression-syntax
+    errors, minus findings disabled on their own line."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(src))
+
+    valid = known_codes()
+    for line, codes in sorted(src.suppressions.items()):
+        unknown = sorted(code for code in codes if code not in valid)
+        for code in unknown:
+            findings.append(Finding(
+                SUPPRESS_CODE, Severity.ERROR, src.path,
+                f"suppression names unknown rule code {code or '<empty>'!r} "
+                f"(known: {', '.join(sorted(valid))})",
+                line=line, col=0,
+            ))
+
+    kept = [
+        finding for finding in findings
+        if not (
+            finding.code != SUPPRESS_CODE
+            and finding.code.upper() in src.suppressions.get(finding.line, ())
+        )
+    ]
+    return sorted(kept, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Every ``.py`` file under *paths* (files pass through verbatim),
+    sorted, hidden directories and ``__pycache__`` skipped."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return sorted(set(found))
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every python file under *paths*; unparseable files become
+    ``PARSE`` findings instead of aborting the run."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            src = parse_source(path)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                PARSE_CODE, Severity.ERROR, path,
+                f"file does not parse: {exc.msg}",
+                line=exc.lineno or 0, col=exc.offset or 0,
+            ))
+            continue
+        findings.extend(lint_source(src, rules))
+    return sorted(findings, key=Finding.sort_key)

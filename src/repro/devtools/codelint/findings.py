@@ -1,0 +1,103 @@
+"""The shared findings vocabulary for every linter in the project.
+
+Both linters — the zone linter (:mod:`repro.manage.linter`, which checks
+*measured* zones for the paper's §4 misconfigurations) and the code
+linter (:mod:`repro.devtools.codelint`, which checks *this repository's
+source* for the invariants those measurements depend on) — report
+through one :class:`Finding` dataclass and one :class:`Severity` enum,
+rendered by one pair of text/JSON renderers.  A finding is a finding,
+whether the subject is a DNS owner name or a source line.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+class Severity(enum.Enum):
+    ERROR = "error"  # will break clients / corrupt datasets silently
+    WARNING = "warning"  # degraded, risky, or latent
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: most severe first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter observation.
+
+    ``where`` names the subject: the zone owner name for zone findings,
+    the source file path for code findings (with ``line``/``col`` set).
+    ``owner`` is kept as an alias for the zone linter's historical field
+    name.
+    """
+
+    code: str
+    severity: Severity
+    where: str
+    message: str
+    line: int = 0
+    col: int = 0
+
+    @property
+    def owner(self) -> str:
+        return self.where
+
+    @property
+    def location(self) -> str:
+        if self.line:
+            return f"{self.where}:{self.line}:{self.col}"
+        return self.where
+
+    def identity(self) -> str:
+        """A line-number-free key for baseline matching: editing an
+        unrelated part of a file must not churn the baseline."""
+        return f"{self.code}::{self.where}::{self.message}"
+
+    def sort_key(self):
+        return (self.where, self.line, self.col, self.severity.rank, self.code)
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "where": self.where,
+            "message": self.message,
+        }
+        if self.line:
+            payload["line"] = self.line
+            payload["col"] = self.col
+        return payload
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code} {self.location}: {self.message}"
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One finding per line, stable order (path, line, severity, code)."""
+    return "\n".join(str(f) for f in sorted(findings, key=Finding.sort_key))
+
+
+def render_json(findings: Iterable[Finding], **extra: object) -> str:
+    """A machine-readable report; *extra* keys join the top level (the
+    code linter adds baseline counts, the zone linter the lint date)."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    payload: Dict[str, object] = {
+        "findings": [f.to_json() for f in ordered],
+        "counts": severity_counts(ordered),
+    }
+    payload.update(extra)
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def severity_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    counts = {severity.value: 0 for severity in Severity}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts

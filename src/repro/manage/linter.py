@@ -7,14 +7,19 @@ configs, self-referential AliasMode, signed zones with no DS uploaded —
 are all mechanically detectable. This linter detects every failure mode
 the paper observes, against a zone plus optional live context (the
 serving addresses and the current ECH key manager).
+
+Findings are reported through the shared
+:mod:`repro.devtools.codelint.findings` core (one ``Finding`` dataclass,
+one ``Severity`` enum, common text/JSON renderers) so zone lint and code
+lint speak the same language; on the CLI this is
+``repro-scan lint-zone``.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
+from ..devtools.codelint.findings import Finding, Severity
 from ..dnscore import rdtypes
 from ..dnscore.names import Name
 from ..dnscore.rdata import HTTPSRdata
@@ -22,22 +27,7 @@ from ..ech.config import try_parse_config_list
 from ..ech.keys import ECHKeyManager
 from ..zones.zone import Zone
 
-
-class Severity(enum.Enum):
-    ERROR = "error"  # will break clients (paper: hard failures)
-    WARNING = "warning"  # degraded or risky
-    INFO = "info"
-
-
-@dataclass
-class Finding:
-    code: str
-    severity: Severity
-    owner: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.severity.value}] {self.code} {self.owner}: {self.message}"
+__all__ = ["Finding", "Severity", "lint_zone"]
 
 
 def _https_rrsets(zone: Zone):
@@ -137,7 +127,8 @@ def _lint_record(
     if params.ipv6hint and aaaa_addrs and set(params.ipv6hint) != aaaa_addrs:
         findings.append(Finding(
             "ipv6hint-mismatch", Severity.ERROR, owner,
-            f"ipv6hint differs from AAAA records",
+            f"ipv6hint {sorted(params.ipv6hint)} != AAAA records {sorted(aaaa_addrs)}"
+            " (clients may connect to a dead address)",
         ))
 
     # -- ECH checks (§4.4) ---------------------------------------------------------

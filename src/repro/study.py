@@ -114,6 +114,16 @@ _SCHEDULE_FIELDS = (
     "start", "end", "ech_sample", "with_ech_hourly", "with_dnssec_snapshot",
 )
 
+# Spec fields whose identity is carried outside cache_tag() itself.
+# codelint's TAG01 rule enforces that every StudySpec field is either in
+# _SCHEDULE_FIELDS, read by cache_tag(), or listed here with the reason
+# — so a new field can never silently alias cache entries.
+_TAG_EXEMPT = {
+    "day_step": "cache_path() embeds day_step in the cache filename, so "
+                "two specs differing in day_step already name different "
+                "cache entries",
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class StudySpec:

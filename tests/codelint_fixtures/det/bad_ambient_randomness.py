@@ -1,0 +1,28 @@
+"""DET01 bad fixture: ambient randomness / wall-clock reads in a
+determinism-restricted subsystem (linted as repro.simnet.fixture)."""
+
+import os
+import random
+import time
+import uuid
+from datetime import date, datetime
+
+
+def churn_day(population):
+    return random.randrange(population)  # DET01: random.*
+
+
+def stamp():
+    return time.time()  # DET01: wall clock
+
+
+def today_index():
+    return (datetime.now(), date.today())  # DET01 x2: wall clock
+
+
+def salt():
+    return os.urandom(8)  # DET01: OS entropy
+
+
+def request_id():
+    return uuid.uuid4()  # DET01: uuid is seeded from the host

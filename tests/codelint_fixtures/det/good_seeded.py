@@ -1,0 +1,21 @@
+"""DET01 good fixture: stochastic behaviour derived from the world seed,
+time from the timeline (linted as repro.simnet.fixture)."""
+
+import datetime
+import hashlib
+
+
+def digest(seed, *parts):
+    material = "|".join([seed] + [str(part) for part in parts])
+    return hashlib.sha256(material.encode()).digest()
+
+
+def churn_day(seed, name, bound):
+    return int.from_bytes(digest(seed, name)[:8], "big") % bound
+
+
+STUDY_START = datetime.date(2023, 5, 8)  # date literals are fine
+
+
+def parse_day(text):
+    return datetime.date.fromisoformat(text)  # parsing is fine

@@ -1,0 +1,5 @@
+"""FSTR01 bad fixture: the zone linter's own message bug."""
+
+
+def mismatch_message(hints, records):
+    return f"ipv6hint differs from AAAA records"  # FSTR01: values dropped

@@ -1,0 +1,13 @@
+"""FSTR01 good fixture: placeholders present, plain strings plain, and
+format specs (which parse as nested placeholder-less f-strings) exempt."""
+
+
+def mismatch_message(hints, records):
+    return f"ipv6hint {sorted(hints)} != AAAA records {sorted(records)}"
+
+
+def share_message(share):
+    return f"{share:.1f}%"  # the :.1f spec must not trip the rule
+
+
+PLAIN = "no placeholders, no f prefix"

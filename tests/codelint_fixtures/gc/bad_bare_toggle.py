@@ -1,0 +1,11 @@
+"""GC01 bad fixture: bare gc toggles outside repro/gcutils.py."""
+
+import gc
+
+
+def build_world_fast(factory):
+    gc.disable()  # GC01
+    try:
+        return factory()
+    finally:
+        gc.enable()  # GC01: re-enables inside anyone else's pause window

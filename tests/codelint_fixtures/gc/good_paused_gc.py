@@ -1,0 +1,16 @@
+"""GC01 good fixture: the refcounted helper owns the toggle; gc.collect
+and introspection stay legal everywhere."""
+
+import gc
+
+from repro.gcutils import paused_gc
+
+
+def build_world_fast(factory):
+    with paused_gc():
+        return factory()
+
+
+def housekeeping():
+    gc.collect()  # collecting is fine; only disable/enable are owned
+    return gc.isenabled()

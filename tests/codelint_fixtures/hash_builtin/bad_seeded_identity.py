@@ -1,0 +1,10 @@
+"""HASH02 bad fixture: builtin hash() feeding persisted identity
+(the PR 1 unstable cache-tag class)."""
+
+
+def cache_tag(config):
+    return f"campaign-{hash(repr(config))}"  # HASH02: seed-dependent
+
+
+def shard_of(name, workers):
+    return hash(name) % workers  # HASH02: differs across interpreters

@@ -1,0 +1,16 @@
+"""HASH02 good fixture: persisted identity via sha256; hash() only in
+__hash__."""
+
+import hashlib
+
+
+def cache_tag(config):
+    return hashlib.sha256(repr(config).encode()).hexdigest()
+
+
+class Key:
+    def __init__(self, parts):
+        self.parts = parts
+
+    def __hash__(self):
+        return hash(self.parts)  # in-process only, legal

@@ -1,0 +1,33 @@
+"""HASH01 bad fixture: the PR 4 Name bug pattern — __hash__ caches the
+seed-dependent hash on self and pickling ships it."""
+
+
+class CachedNoGetstate:
+    """Default pickling carries self._hash into other interpreters."""
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels):
+        self._labels = labels
+        self._hash = None
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(self._labels)
+        return self._hash
+
+
+class CachedLeakyGetstate:
+    """Has a __getstate__, but it still ships the cached hash."""
+
+    def __init__(self, key):
+        self._key = key
+        self._hash = None
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(self._key)
+        return self._hash
+
+    def __getstate__(self):
+        return {"_key": self._key, "_hash": self._hash}

@@ -1,0 +1,31 @@
+"""HASH01 good fixture: cached hash never crosses the pickle boundary
+(the post-PR-4 Name shape), plus an uncached __hash__."""
+
+
+class CachedWithCleanGetstate:
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, labels):
+        self._labels = labels
+        self._hash = None
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(self._labels)
+        return self._hash
+
+    def __getstate__(self):
+        # Only the labels cross the boundary; the cache is rebuilt lazily.
+        return (self._labels,)
+
+    def __setstate__(self, state):
+        (self._labels,) = state
+        self._hash = None
+
+
+class Uncached:
+    def __init__(self, key):
+        self._key = key
+
+    def __hash__(self):
+        return hash(self._key)

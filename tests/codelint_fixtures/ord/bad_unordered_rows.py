@@ -1,0 +1,22 @@
+"""ORD01/ORD02 bad fixture: unordered iteration leaking into rows."""
+
+
+def rows_from_literal(writer):
+    for column in {"b", "a", "c"}:  # ORD01: set literal iteration
+        writer.append(column)
+
+
+def rows_from_set_var(names):
+    seen = set(names)
+    return [name for name in seen]  # ORD01: set-typed local iterated
+
+
+def rows_from_setcall(names):
+    return tuple(set(names))  # ORD01: tuple(set(...))
+
+
+def rows_from_keys(mapping):
+    out = []
+    for key in mapping.keys():  # ORD02: .keys() loop hides the decision
+        out.append(key)
+    return out

@@ -1,0 +1,27 @@
+"""ORD01/ORD02 good fixture: sorted or order-insensitive consumption."""
+
+
+def rows_sorted(names):
+    seen = set(names)
+    return [name for name in sorted(seen)]
+
+
+def commutative_folds(names):
+    seen = set(names)
+    total = sum(len(name) for name in seen)  # order-insensitive reducer
+    return total, all(name for name in seen), max(seen), len(seen)
+
+
+def membership_only(names, probe):
+    seen = set(names)
+    return probe in seen
+
+
+def dict_iteration(mapping):
+    return [key for key in mapping]  # mappings iterate in insertion order
+
+
+def reassigned_is_not_a_set(names):
+    values = set(names)
+    values = sorted(values)
+    return [v for v in values]

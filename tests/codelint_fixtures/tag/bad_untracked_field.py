@@ -1,0 +1,19 @@
+"""TAG01 bad fixture: a StudySpec field that never reaches cache_tag."""
+
+import dataclasses
+
+_SCHEDULE_FIELDS = ("start", "end")
+
+
+@dataclasses.dataclass(frozen=True)
+class StudySpec:
+    config: object = None
+    day_step: int = 7  # TAG01: not in _SCHEDULE_FIELDS/_TAG_EXEMPT/cache_tag
+    start: object = None
+    end: object = None
+
+    def schedule_overrides(self):
+        return {name: getattr(self, name) for name in _SCHEDULE_FIELDS}
+
+    def cache_tag(self):
+        return repr(self.schedule_overrides()) + repr(self.config)

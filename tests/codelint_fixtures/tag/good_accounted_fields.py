@@ -1,0 +1,23 @@
+"""TAG01 good fixture: every StudySpec field is accounted for."""
+
+import dataclasses
+
+_SCHEDULE_FIELDS = ("start", "end")
+
+_TAG_EXEMPT = {
+    "day_step": "the cache filename embeds day_step",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class StudySpec:
+    config: object = None  # read by cache_tag directly
+    day_step: int = 7  # exempted with a reason
+    start: object = None  # via _SCHEDULE_FIELDS
+    end: object = None  # via _SCHEDULE_FIELDS
+
+    def schedule_overrides(self):
+        return {name: getattr(self, name) for name in _SCHEDULE_FIELDS}
+
+    def cache_tag(self):
+        return repr(self.schedule_overrides()) + repr(self.config)
