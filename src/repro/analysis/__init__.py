@@ -3,6 +3,7 @@
 from . import (
     adoption,
     appendix,
+    attribution,
     common,
     dnssec_analysis,
     ech_analysis,
@@ -16,6 +17,7 @@ from . import (
 __all__ = [
     "adoption",
     "appendix",
+    "attribution",
     "common",
     "dnssec_analysis",
     "ech_analysis",

@@ -1,0 +1,269 @@
+"""Injected-cause attribution: join a chaos scenario's fault ledger
+against the anomalies a dataset actually records.
+
+A scenario run (:class:`~repro.simnet.faults.FaultSchedule` on a
+:class:`~repro.study.StudySpec`) injects faults whose observable
+footprints are exactly the paper's misbehaviour findings — intermittent
+HTTPS publication (§4.2.3), hint/connectivity mismatches (§4.3.5),
+DNSSEC validation failures (Table 9), and stale ECH configs behind the
+Table 7 failover rows. This module extracts those **anomalies** from a
+dataset, then attributes each one to the injected fault(s) whose kind,
+window, and target scope can explain it; whatever no fault claims is
+**organic** — the world misbehaving on its own, as the fault-free study
+already measures.
+
+The join is pure dataset + config arithmetic (domain profiles are
+re-derived from :func:`~repro.simnet.cohorts.make_profile`, never a
+live :class:`~repro.simnet.world.World`), so attribution runs on a
+cached or released dataset long after the collecting process is gone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..ech.keys import ECHKeyManager
+from ..scanner.dataset import Dataset
+from ..simnet import timeline
+from ..simnet.cohorts import DomainProfile, make_profile
+from ..simnet.config import SimConfig
+from ..simnet.faults import (
+    KIND_DNSSEC_EXPIRED_RRSIG,
+    KIND_DNSSEC_MISSING_DS,
+    KIND_ECH_KEY_DESYNC,
+    KIND_LAME_DELEGATION,
+    KIND_PACKET_LOSS,
+    KIND_SERVER_OUTAGE,
+    KIND_STALE_HTTPS_HINT,
+    KIND_TIMEOUT,
+    FaultSchedule,
+    FaultSpec,
+    spec_affects,
+)
+from ..simnet.world import ECH_PUBLIC_NAME
+
+# Anomaly kinds (what the dataset shows, not what was injected).
+ANOMALY_ABSENCE = "absence"  # HTTPS record unobserved after a sighting
+ANOMALY_HINT_MISMATCH = "hint_mismatch"  # published hints != A records
+ANOMALY_UNREACHABLE = "unreachable"  # TLS probe failed (§4.3.5)
+ANOMALY_DNSSEC = "dnssec"  # signed zone not validating SECURE
+ANOMALY_ECH_STALE = "ech_stale"  # published ECH config not current
+
+# Which observable anomaly kinds each injected fault kind can cause.
+# The attribution join only lets a fault claim anomalies it could have
+# produced; an outage never soaks up, say, a DNSSEC validation failure.
+_CAUSES: Dict[str, Tuple[str, ...]] = {
+    KIND_SERVER_OUTAGE: (ANOMALY_ABSENCE, ANOMALY_UNREACHABLE),
+    KIND_LAME_DELEGATION: (ANOMALY_ABSENCE,),
+    KIND_PACKET_LOSS: (ANOMALY_ABSENCE,),
+    KIND_TIMEOUT: (ANOMALY_ABSENCE,),
+    # A validating resolver answers SERVFAIL for a bogus chain, so the
+    # domain also vanishes from the daily scan.
+    KIND_DNSSEC_EXPIRED_RRSIG: (ANOMALY_DNSSEC, ANOMALY_ABSENCE),
+    KIND_DNSSEC_MISSING_DS: (ANOMALY_DNSSEC,),
+    KIND_ECH_KEY_DESYNC: (ANOMALY_ECH_STALE,),
+    KIND_STALE_HTTPS_HINT: (ANOMALY_HINT_MISMATCH, ANOMALY_UNREACHABLE),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Anomaly:
+    """One dated, per-domain oddity extracted from the dataset."""
+
+    kind: str
+    name: str  # apex domain (presentation form, no trailing dot)
+    date: datetime.date
+
+
+@dataclasses.dataclass
+class FaultAttribution:
+    """One injected fault joined against the anomalies it can explain."""
+
+    spec: FaultSpec
+    in_window: bool  # fault window intersects the observed scan days
+    anomalies: Tuple[Anomaly, ...]
+
+    @property
+    def attributed(self) -> bool:
+        return bool(self.anomalies)
+
+
+@dataclasses.dataclass
+class AttributionReport:
+    """The full injected-vs-organic account of one scenario dataset."""
+
+    entries: List[FaultAttribution]
+    anomalies: Tuple[Anomaly, ...]  # everything observed
+    organic: Tuple[Anomaly, ...]  # claimed by no injected fault
+    window_start: Optional[datetime.date]
+    window_end: Optional[datetime.date]
+
+    @property
+    def injected(self) -> Tuple[Anomaly, ...]:
+        """Anomalies claimed by at least one fault (deduplicated)."""
+        organic = set((a.kind, a.name, a.date) for a in self.organic)
+        return tuple(
+            a for a in self.anomalies if (a.kind, a.name, a.date) not in organic
+        )
+
+    def unattributed_faults(self) -> List[FaultSpec]:
+        """In-window faults that explain no observed anomaly — the CI
+        chaos smoke requires this list to be empty."""
+        return [e.spec for e in self.entries if e.in_window and not e.attributed]
+
+    def fully_attributed(self) -> bool:
+        return not self.unattributed_faults()
+
+    def organic_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = defaultdict(int)
+        for anomaly in self.organic:
+            counts[anomaly.kind] += 1
+        return dict(counts)
+
+    def summary(self) -> str:
+        lines = [
+            f"anomalies: {len(self.anomalies)} observed, "
+            f"{len(self.injected)} injected, {len(self.organic)} organic"
+        ]
+        for entry in self.entries:
+            status = (
+                f"{len(entry.anomalies)} anomalies"
+                if entry.attributed
+                else ("UNATTRIBUTED" if entry.in_window else "out of window")
+            )
+            lines.append(f"  {entry.spec.canonical_tag()}: {status}")
+        organic = self.organic_counts()
+        if organic:
+            parts = ", ".join(f"{k}={organic[k]}" for k in sorted(organic))
+            lines.append(f"  organic breakdown: {parts}")
+        return "\n".join(lines)
+
+
+def profiles_by_name(config: SimConfig) -> Dict[str, DomainProfile]:
+    """The world's domain profiles keyed by apex text, re-derived from
+    the config (profiles are pure functions of seed × index)."""
+    return {
+        profile.name: profile
+        for profile in (
+            make_profile(config, i) for i in range(config.population)
+        )
+    }
+
+
+def observed_anomalies(dataset: Dataset, config: SimConfig) -> List[Anomaly]:
+    """Every dated oddity the dataset records, in deterministic order."""
+    anomalies: List[Anomaly] = []
+    days = dataset.days()
+    # Presence flips: a name absent on a scan day after its first HTTPS
+    # sighting. (Days before the first sighting are the organic adoption
+    # ramp, not an anomaly.)
+    first_seen: Dict[str, datetime.date] = {}
+    for day in days:
+        snapshot = dataset.snapshot(day)
+        for name in snapshot.apex:
+            first_seen.setdefault(name, day)
+    for day in days:
+        snapshot = dataset.snapshot(day)
+        listed = set(snapshot.ranked_names)
+        for name in sorted(first_seen):
+            if first_seen[name] < day and name in listed and name not in snapshot.apex:
+                anomalies.append(Anomaly(ANOMALY_ABSENCE, name, day))
+    # Hint/A mismatches (§4.3.5) and the TLS connectivity probes on them.
+    for day in days:
+        snapshot = dataset.snapshot(day)
+        for name in sorted(snapshot.apex):
+            obs = snapshot.apex[name]
+            hints = obs.all_ipv4_hints()
+            if hints and obs.a_addrs and set(hints) != set(obs.a_addrs):
+                anomalies.append(Anomaly(ANOMALY_HINT_MISMATCH, name, day))
+        for probe in snapshot.connectivity:
+            if probe.any_unreachable:
+                anomalies.append(Anomaly(ANOMALY_UNREACHABLE, probe.name, day))
+    # DNSSEC validation states on the snapshot day (Table 9): a signed
+    # zone that does not validate SECURE.
+    if dataset.dnssec_snapshot_date is not None:
+        date = dataset.dnssec_snapshot_date
+        for name in sorted(dataset.dnssec_snapshot):
+            _has_https, signed, state, _ns, _reg, _prov = dataset.dnssec_snapshot[name]
+            if signed and state != "secure":
+                anomalies.append(Anomaly(ANOMALY_DNSSEC, name, date))
+    # Stale ECH configs: a sighting whose config_id is not the current
+    # key generation for that hour (the Table 7 failover trigger). The
+    # expected generation is a pure function of the config, so this
+    # works on daily scans and hourly rescans alike.
+    manager = ECHKeyManager(
+        ECH_PUBLIC_NAME,
+        seed=config.seed.encode(),
+        rotation_hours=config.ech_rotation_hours,
+    )
+    for day in days:
+        snapshot = dataset.snapshot(day)
+        hour = timeline.day_index(day) * 24
+        expected = manager.generation_for_hour(hour) % 256
+        for name in sorted(snapshot.apex):
+            for record in snapshot.apex[name].https_records:
+                if record.has_ech and record.ech_config_id != expected:
+                    anomalies.append(Anomaly(ANOMALY_ECH_STALE, name, day))
+                    break
+    seen_hourly = set()
+    for obs in dataset.ech_observations:
+        expected = manager.generation_for_hour(obs.hour) % 256
+        if obs.config_id != expected:
+            day = timeline.date_of(obs.hour // 24)
+            key = (obs.name, day)
+            if key not in seen_hourly:  # one anomaly per (name, day)
+                seen_hourly.add(key)
+                anomalies.append(Anomaly(ANOMALY_ECH_STALE, obs.name, day))
+    return anomalies
+
+
+def attribute(
+    dataset: Dataset,
+    scenario: Optional[FaultSchedule],
+    config: SimConfig,
+) -> AttributionReport:
+    """Join *scenario*'s fault ledger against *dataset*'s anomalies.
+
+    Each fault claims the anomalies whose kind it can cause
+    (:data:`_CAUSES`), whose date falls in its window, and whose domain
+    it targets (:func:`~repro.simnet.faults.spec_affects`). Anomalies
+    claimed by no fault are organic; in-window faults claiming nothing
+    are flagged via :meth:`AttributionReport.unattributed_faults`.
+    """
+    days = dataset.days()
+    window_start = days[0] if days else None
+    window_end = days[-1] if days else None
+    anomalies = observed_anomalies(dataset, config)
+    profiles = profiles_by_name(config)
+    specs = () if scenario is None else scenario.specs
+    entries: List[FaultAttribution] = []
+    claimed: set = set()
+    for spec in specs:
+        in_window = (
+            window_start is not None
+            and spec.overlaps(window_start, window_end)
+        )
+        matched: List[Anomaly] = []
+        for index, anomaly in enumerate(anomalies):
+            if anomaly.kind not in _CAUSES[spec.kind]:
+                continue
+            profile = profiles.get(anomaly.name)
+            if profile is None:
+                continue
+            if spec_affects(spec, profile, config, anomaly.date):
+                matched.append(anomaly)
+                claimed.add(index)
+        entries.append(FaultAttribution(spec, in_window, tuple(matched)))
+    organic = tuple(
+        anomaly for index, anomaly in enumerate(anomalies) if index not in claimed
+    )
+    return AttributionReport(
+        entries=entries,
+        anomalies=tuple(anomalies),
+        organic=organic,
+        window_start=window_start,
+        window_end=window_end,
+    )

@@ -180,3 +180,40 @@ def noncf_ech_targets(dataset: Dataset) -> Dict[str, int]:
                 if record.has_ech and record.ech_public_name:
                     counts[record.ech_public_name] += 1
     return dict(counts)
+
+
+@dataclass
+class FailoverSplit:
+    """Table 7 context: stale-ECH sightings (the config mismatch that
+    forces a browser through the retry/failover ladder), split by cause."""
+
+    injected_domains: int  # stale config explained by an injected key desync
+    organic_domains: int  # stale on its own (rotation races, residue)
+    stale_sightings: int  # total (name, day) stale observations
+
+    @property
+    def affected_domains(self) -> int:
+        return self.injected_domains + self.organic_domains
+
+
+def table7_failover_split(dataset: Dataset, scenario, config) -> FailoverSplit:
+    """Split the dataset's stale-ECH sightings — the condition behind
+    Table 7's "(3) Mismatched key" failover row — into those an injected
+    ``ech_key_desync`` fault explains and those occurring organically.
+    With no scenario everything is organic."""
+    from .attribution import ANOMALY_ECH_STALE, attribute
+
+    report = attribute(dataset, scenario, config)
+    injected = {
+        anomaly.name
+        for entry in report.entries
+        for anomaly in entry.anomalies
+        if anomaly.kind == ANOMALY_ECH_STALE
+    }
+    stale = [a for a in report.anomalies if a.kind == ANOMALY_ECH_STALE]
+    organic = {a.name for a in stale} - injected
+    return FailoverSplit(
+        injected_domains=len(injected),
+        organic_domains=len(organic),
+        stale_sightings=len(stale),
+    )

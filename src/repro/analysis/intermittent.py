@@ -128,6 +128,41 @@ def analyze_intermittency(dataset: Dataset) -> IntermittencyReport:
     return IntermittencyReport(**report_counts)
 
 
+@dataclass
+class InjectedSplit:
+    """§4.2.3 intermittency split by cause: apexes whose HTTPS record
+    flapped because of an injected fault vs. organically."""
+
+    injected_domains: int
+    organic_domains: int
+
+    @property
+    def flapping_domains(self) -> int:
+        return self.injected_domains + self.organic_domains
+
+
+def intermittency_injected_split(dataset: Dataset, scenario, config) -> InjectedSplit:
+    """Split the dataset's presence-flapping apexes into those whose
+    absence days an injected fault explains (kind, window, and target
+    scope all matching — see :mod:`repro.analysis.attribution`) and
+    those the world produced on its own. With no scenario everything is
+    organic, which is the fault-free §4.2.3 picture."""
+    from .attribution import ANOMALY_ABSENCE, attribute
+
+    report = attribute(dataset, scenario, config)
+    injected = {
+        anomaly.name
+        for entry in report.entries
+        for anomaly in entry.anomalies
+        if anomaly.kind == ANOMALY_ABSENCE
+    }
+    flapping = {a.name for a in report.anomalies if a.kind == ANOMALY_ABSENCE}
+    return InjectedSplit(
+        injected_domains=len(injected),
+        organic_domains=len(flapping - injected),
+    )
+
+
 def direct_authoritative_check(world, dataset: Dataset) -> Dict[str, dict]:
     """The paper's supplementary experiment: query each intermittent
     domain's authoritative servers directly and compare how many return

@@ -126,6 +126,11 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
                         help="stop the continuous run after N increments "
                              "(exit status 3; the checkpoint resumes on the "
                              "next invocation)")
+    parser.add_argument("--scenario", metavar="FILE", default=None,
+                        help="inject a chaos scenario: a JSON fault schedule "
+                             "(see repro.simnet.faults) applied to the world "
+                             "for the whole campaign; prints an injected-fault "
+                             "attribution report after the analyses")
     parser.add_argument("--export", metavar="DIR", help="write figure CSVs to DIR")
     parser.add_argument("--release", metavar="TAG", default=None,
                         help="after the campaign completes, cut release TAG: "
@@ -167,10 +172,20 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
     if not args.no_snapshot:
         snapshot_dir = args.snapshot_dir or os.path.join(args.cache_dir, "worlds")
 
+    scenario = None
+    if args.scenario is not None:
+        from .simnet.faults import FaultSchedule
+
+        try:
+            scenario = FaultSchedule.load(args.scenario)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            parser.error(f"cannot load scenario {args.scenario!r}: {exc}")
+
     spec = StudySpec(
         SimConfig(population=args.population),
         day_step=args.day_step,
         ech_sample=args.ech_sample,
+        scenario=scenario,
     )
     plan = ExecutionPlan(
         workers=args.workers,
@@ -209,6 +224,12 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
                 print(f"\nrun stats (cached dataset's originating run): {stats.summary()}")
             else:
                 print(f"\nrun stats: {stats.summary()}")
+        if scenario is not None and scenario:
+            from .analysis import attribution
+
+            report = attribution.attribute(dataset, scenario, spec.config)
+            print(f"\nfault attribution ({scenario.name}):")
+            print(report.summary())
         if args.export:
             written = study.export(args.export)
             print(f"\nwrote {len(written)} files to {args.export}:")

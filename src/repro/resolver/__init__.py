@@ -29,10 +29,12 @@ from .batch import BatchResolver
 from .clock import SimClock
 from .doh import DohClient, DohResponse, DohServer
 from .network import (
+    DNS_PORT,
     HostUnreachable,
     Network,
     NetworkError,
     PortClosed,
+    QueryTimeout,
 )
 from .recursive import RecursiveResolver, Resolution, ResolutionError, UpstreamQuery
 from .stub import CLOUDFLARE_RESOLVER_IP, GOOGLE_RESOLVER_IP, StubResolver
@@ -44,10 +46,12 @@ __all__ = [
     "DohClient",
     "DohResponse",
     "DohServer",
+    "DNS_PORT",
     "HostUnreachable",
     "Network",
     "NetworkError",
     "PortClosed",
+    "QueryTimeout",
     "RecursiveResolver",
     "Resolution",
     "ResolutionError",

@@ -13,9 +13,9 @@ way production recursive resolvers overlap work:
   pauses admission until its chain fills the delegation cache, so later
   jobs start from cached delegations exactly like the serial path;
 * **in-flight query coalescing** — identical concurrent upstream
-  queries, keyed by (resolver, server ip, qname, qtype), are sent once
-  per scheduler round and the response is shared by every machine
-  waiting on that key, with the cache filled once;
+  queries, keyed by (resolver, server ip, qname, qtype, attempt), are
+  sent once per scheduler round and the response is shared by every
+  machine waiting on that key, with the cache filled once;
 * **in-flight job attachment** — a job whose (resolver, qname, qtype)
   is already being resolved attaches to the running machine instead of
   starting its own, and is answered from that machine's response;
@@ -40,7 +40,7 @@ from ..dnscore.message import Message
 from ..dnscore.names import Name
 from ..gcutils import pause_gc as _pause_gc
 from ..gcutils import resume_gc as _resume_gc
-from .network import HostUnreachable, Network
+from .network import Network, NetworkError
 from .recursive import RecursiveResolver, Resolution
 
 # In-flight resolutions per batch. Wide enough to overlap and coalesce
@@ -175,8 +175,8 @@ class BatchResolver:
                 request = job.request
                 upstream += 1
                 try:
-                    reply, error = job.send(request.ip, request.query), None
-                except HostUnreachable as exc:
+                    reply, error = job.send(request.ip, request.query, request.attempt), None
+                except NetworkError as exc:
                     reply, error = None, exc
                 request = job.resolution.step(reply, error)
                 if request is None:
@@ -194,7 +194,18 @@ class BatchResolver:
                 request = job.request
                 if coalesce:
                     question = request.query.questions[0]
-                    key = (id(job.resolution.resolver), request.ip, question.name, question.rdtype)
+                    # The delivery attempt joins the key so a retry after
+                    # a timeout is a fresh network event (never answered
+                    # from the round that just timed out), keeping loss
+                    # outcomes — pure functions of (query, attempt) —
+                    # identical to the serial path's.
+                    key = (
+                        id(job.resolution.resolver),
+                        request.ip,
+                        question.name,
+                        question.rdtype,
+                        request.attempt,
+                    )
                 else:
                     key = job.index
                 keys.append(key)
@@ -203,8 +214,8 @@ class BatchResolver:
                     continue
                 upstream += 1
                 try:
-                    replies[key] = (job.send(request.ip, request.query), None)
-                except HostUnreachable as exc:
+                    replies[key] = (job.send(request.ip, request.query, request.attempt), None)
+                except NetworkError as exc:
                     replies[key] = (None, exc)
             still: List[_Job] = []
             for job, key in zip(active, keys):

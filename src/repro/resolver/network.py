@@ -8,7 +8,17 @@ exercise identical server logic).
 
 Reachability is modelled per-IP (and optionally per-port), which the
 connectivity experiment of §4.3.5 uses to create domains whose IP hints
-and A records differ in reachability.
+and A records differ in reachability, and which the chaos scenario
+engine (:mod:`repro.simnet.faults`) uses for scheduled outages of a
+single service (e.g. port 53 down, port 443 up).
+
+The fabric also exposes a single injection point, :attr:`Network.dns_fault_hook`:
+a callable consulted on every routed DNS query that may pass the query
+through (``None``), synthesize a response (lame delegation), or raise a
+transport error (packet loss / timeout). The hook sees the delivery
+``attempt`` number so drop decisions can be pure functions of
+(seed, query, attempt) — the property that keeps serial and batched
+drivers value-equivalent.
 """
 
 from __future__ import annotations
@@ -16,6 +26,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Protocol, Set, Tuple
 
 from ..dnscore.message import Message
+
+DNS_PORT = 53
 
 
 class DnsHandler(Protocol):
@@ -38,6 +50,18 @@ class PortClosed(NetworkError):
     pass
 
 
+class QueryTimeout(NetworkError):
+    """A DNS query was sent but no reply arrived in time (dropped
+    request or dropped response — the client cannot distinguish)."""
+
+
+# Signature: hook(ip, query, attempt) -> None | Message | NetworkError.
+# None passes the query through to the registered server; a Message is
+# returned to the client as the (spoofed/synthesized) reply; a
+# NetworkError instance is raised as the delivery outcome.
+FaultHook = Callable[[str, Message, int], Optional[object]]
+
+
 class Network:
     """Registry + router for the simulated Internet."""
 
@@ -46,6 +70,8 @@ class Network:
         self._dns_servers: Dict[str, DnsHandler] = {}
         self._tcp_servers: Dict[Tuple[str, int], TcpHandler] = {}
         self._unreachable_ips: Set[str] = set()
+        self._unreachable_ports: Set[Tuple[str, int]] = set()
+        self.dns_fault_hook: Optional[FaultHook] = None
         self.dns_query_count = 0
         self.tcp_connect_count = 0
 
@@ -60,27 +86,48 @@ class Network:
     def unregister_tcp(self, ip: str, port: int) -> None:
         self._tcp_servers.pop((ip, port), None)
 
-    def set_unreachable(self, ip: str, unreachable: bool = True) -> None:
-        if unreachable:
-            self._unreachable_ips.add(ip)
+    def set_unreachable(
+        self, ip: str, unreachable: bool = True, *, port: Optional[int] = None
+    ) -> None:
+        """Mark ``ip`` (or just ``(ip, port)`` when ``port`` is given)
+        unreachable. Per-IP and per-port outages are independent sets:
+        clearing one never clears the other."""
+        if port is None:
+            if unreachable:
+                self._unreachable_ips.add(ip)
+            else:
+                self._unreachable_ips.discard(ip)
         else:
-            self._unreachable_ips.discard(ip)
+            if unreachable:
+                self._unreachable_ports.add((ip, port))
+            else:
+                self._unreachable_ports.discard((ip, port))
 
-    def is_reachable(self, ip: str) -> bool:
-        return ip not in self._unreachable_ips
+    def is_reachable(self, ip: str, port: Optional[int] = None) -> bool:
+        if ip in self._unreachable_ips:
+            return False
+        if port is not None and (ip, port) in self._unreachable_ports:
+            return False
+        return True
 
     def dns_server_at(self, ip: str) -> Optional[DnsHandler]:
         return self._dns_servers.get(ip)
 
     # -- transport ------------------------------------------------------------
 
-    def send_dns_query(self, ip: str, query: Message) -> Message:
-        if ip in self._unreachable_ips:
+    def send_dns_query(self, ip: str, query: Message, attempt: int = 0) -> Message:
+        if not self.is_reachable(ip, DNS_PORT):
             raise HostUnreachable(f"no route to {ip}")
         server = self._dns_servers.get(ip)
         if server is None:
             raise HostUnreachable(f"no DNS server listening at {ip}")
         self.dns_query_count += 1
+        if self.dns_fault_hook is not None:
+            outcome = self.dns_fault_hook(ip, query, attempt)
+            if outcome is not None:
+                if isinstance(outcome, Message):
+                    return outcome
+                raise outcome
         if self.wire_mode:
             query = Message.from_wire(query.to_wire())
             response = server.handle_query(query)
@@ -88,7 +135,7 @@ class Network:
         return server.handle_query(query)
 
     def connect_tcp(self, ip: str, port: int) -> TcpHandler:
-        if ip in self._unreachable_ips:
+        if not self.is_reachable(ip, port):
             raise HostUnreachable(f"no route to {ip}")
         server = self._tcp_servers.get((ip, port))
         if server is None:

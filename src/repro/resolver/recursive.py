@@ -34,11 +34,19 @@ from ..dnscore.names import Name
 from ..dnscore.rrset import RRset
 from ..dnssec.validation import ChainValidator, ValidationState
 from .clock import SimClock
-from .network import HostUnreachable, Network
+from .network import HostUnreachable, Network, NetworkError, QueryTimeout
 
 _MAX_CNAME_CHAIN = 8
 _MAX_REFERRALS = 16
 _MAX_NS_RESOLUTION_DEPTH = 4
+
+# Bounded client-side retries on timeout, with deterministic exponential
+# backoff. The backoff is *recorded* (``backoff_seconds``) rather than
+# slept or applied to the shared SimClock: advancing simulated time per
+# retry would make cache expiries depend on the driver's scheduling
+# order and break the serial==batched equivalence guarantee.
+_MAX_RETRIES = 2
+_RETRY_BACKOFF_BASE = 0.5
 
 # Negative/SERVFAIL cache TTL (default; per-resolver override via
 # ``negative_ttl`` / :attr:`~repro.simnet.config.SimConfig.negative_ttl`).
@@ -64,14 +72,22 @@ class UpstreamQuery:
 
     Yielded by the step generators; the driver (serial ``resolve`` or a
     batch scheduler) sends ``query`` to ``ip`` and resumes the machine
-    with the response, or throws :class:`HostUnreachable` into it.
+    with the response, or throws a :class:`NetworkError`
+    (:class:`HostUnreachable`, :class:`QueryTimeout`) into it.
+
+    ``attempt`` is the delivery attempt (0 for the first send, then
+    1, 2, ... across retries); it is part of the batch driver's
+    coalescing key so a retry is a genuinely fresh network event, and
+    the network fault hook sees it so drop decisions are pure functions
+    of (query, attempt).
     """
 
-    __slots__ = ("ip", "query")
+    __slots__ = ("ip", "query", "attempt")
 
-    def __init__(self, ip: str, query: Message):
+    def __init__(self, ip: str, query: Message, attempt: int = 0):
         self.ip = ip
         self.query = query
+        self.attempt = attempt
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         question = self.query.questions[0]
@@ -131,6 +147,7 @@ class RecursiveResolver:
         validator: Optional[ChainValidator] = None,
         cache_enabled: bool = True,
         negative_ttl: int = _NEGATIVE_TTL,
+        max_retries: int = _MAX_RETRIES,
     ):
         self.name = name
         self.network = network
@@ -139,9 +156,16 @@ class RecursiveResolver:
         self.validator = validator
         self.cache_enabled = cache_enabled
         self.negative_ttl = negative_ttl
+        self.max_retries = max_retries
         self._cache: Dict[Tuple[Name, int], _CacheEntry] = {}
         self._delegation_cache: Dict[Name, Tuple[float, List[str]]] = {}
         self._msg_id = 0
+        # Fault-path counters (rolled into RunStats; excluded from
+        # dataset equality like the query counters).
+        self.timeouts = 0
+        self.retries = 0
+        self.unreachables = 0
+        self.backoff_seconds = 0.0
 
     # -- public API ------------------------------------------------------------
 
@@ -156,8 +180,8 @@ class RecursiveResolver:
         send = self.network.send_dns_query
         while request is not None:
             try:
-                reply = send(request.ip, request.query)
-            except HostUnreachable as exc:
+                reply = send(request.ip, request.query, request.attempt)
+            except NetworkError as exc:
                 request = resolution.step(error=exc)
             else:
                 request = resolution.step(reply)
@@ -181,6 +205,10 @@ class RecursiveResolver:
         rewinds — cached entries would otherwise carry future expiries."""
         self.flush_cache()
         self._msg_id = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.unreachables = 0
+        self.backoff_seconds = 0.0
 
     # -- internals -----------------------------------------------------------------
 
@@ -316,10 +344,9 @@ class RecursiveResolver:
         for _ in range(_MAX_REFERRALS):
             tried_any = False
             for ip in self._select_server(servers, name):
-                try:
-                    response = yield UpstreamQuery(ip, query)
-                except HostUnreachable as exc:
-                    last_error = exc
+                response, error = yield from self._query_server_steps(ip, query)
+                if response is None:
+                    last_error = error
                     continue
                 tried_any = True
                 if response.rcode == rdtypes.REFUSED:
@@ -338,6 +365,33 @@ class RecursiveResolver:
                     raise ResolutionError(f"all servers unreachable: {last_error}")
                 raise ResolutionError(f"no usable response: {last_error}")
         raise ResolutionError("too many referrals")
+
+    def _query_server_steps(self, ip: str, query: Message):
+        """Deliver ``query`` to one server with bounded timeout retries.
+
+        Returns ``(response, None)`` on success or ``(None, error)``
+        after the transport gave up: immediately on
+        :class:`HostUnreachable` (retrying a dead host is pointless —
+        the caller moves to the next server), after ``max_retries``
+        extra attempts on :class:`QueryTimeout`. Backoff between
+        attempts is deterministic (``base * 2**attempt``) and only
+        *accounted*, never slept — see module note on clock purity."""
+        error: Optional[Exception] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                response = yield UpstreamQuery(ip, query, attempt)
+            except QueryTimeout as exc:
+                self.timeouts += 1
+                error = exc
+                if attempt < self.max_retries:
+                    self.retries += 1
+                    self.backoff_seconds += _RETRY_BACKOFF_BASE * (2 ** attempt)
+                continue
+            except HostUnreachable as exc:
+                self.unreachables += 1
+                return None, exc
+            return response, None
+        return None, error
 
     def _closest_cached_delegation(self, name: Name) -> List[str]:
         if not self.cache_enabled:

@@ -28,6 +28,7 @@ from ..dnscore import rdtypes
 from ..dnssec.validation import ChainValidator
 from ..simnet import timeline
 from ..simnet.config import SimConfig
+from ..simnet.faults import FaultSchedule
 from ..simnet.world import World
 from .dataset import DailySnapshot, Dataset
 from .engine import ScanEngine
@@ -41,8 +42,12 @@ class RunStats:
     queries and TCP connects the run's world(s) carried, and — when the
     batched resolution core ran — how many upstream queries in-flight
     coalescing saved and how many duplicate jobs the batch memo
-    answered. The pipeline sums per-worker stats into the merged run
-    summary; sequential runs record their single world's counters.
+    answered. The fault-path counters (query timeouts, retries, and
+    hosts found unreachable, summed over the world's recursive
+    resolvers) surface what a chaos scenario — or organic simulated
+    misbehaviour — cost the clients. The pipeline sums per-worker stats
+    into the merged run summary; sequential runs record their single
+    world's counters.
     """
 
     dns_queries: int = 0
@@ -51,6 +56,9 @@ class RunStats:
     coalesced_queries: int = 0
     attached_jobs: int = 0
     batch_memo_hits: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    unreachables: int = 0
 
     def __add__(self, other: "RunStats") -> "RunStats":
         if not isinstance(other, RunStats):
@@ -66,6 +74,10 @@ class RunStats:
             dns_queries=world.network.dns_query_count,
             tcp_connects=world.network.tcp_connect_count,
         )
+        for resolver in (world.google_resolver, world.cloudflare_resolver):
+            stats.timeouts += resolver.timeouts
+            stats.retries += resolver.retries
+            stats.unreachables += resolver.unreachables
         batch = world.stub.batch
         if batch is not None:
             stats.batch_jobs = batch.jobs_run
@@ -84,6 +96,12 @@ class RunStats:
                 f" coalesced_queries={self.coalesced_queries}"
                 f" attached_jobs={self.attached_jobs}"
                 f" batch_memo_hits={self.batch_memo_hits}"
+            )
+        if self.timeouts or self.retries or self.unreachables:
+            text += (
+                f" timeouts={self.timeouts}"
+                f" retries={self.retries}"
+                f" unreachables={self.unreachables}"
             )
         return text
 
@@ -183,6 +201,7 @@ def run_campaign(
     with_dnssec_snapshot: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     batch: bool = False,
+    scenario: Optional[FaultSchedule] = None,
 ) -> Dataset:
     """Run the full measurement campaign and return the dataset."""
     schedule = build_schedule(
@@ -193,7 +212,7 @@ def run_campaign(
         with_ech_hourly=with_ech_hourly,
         with_dnssec_snapshot=with_dnssec_snapshot,
     )
-    return run_scheduled(world, schedule, progress=progress, batch=batch)
+    return run_scheduled(world, schedule, progress=progress, batch=batch, scenario=scenario)
 
 
 def run_scheduled(
@@ -204,6 +223,7 @@ def run_scheduled(
     scan_nameservers: bool = True,
     batch: bool = False,
     seen_https: Optional[AbstractSet[str]] = None,
+    scenario: Optional[FaultSchedule] = None,
 ) -> Dataset:
     """Execute *schedule* against *world*, optionally restricted to a
     name-slice.
@@ -222,6 +242,10 @@ def run_scheduled(
     days passes the apexes that already published HTTPS on earlier days
     (recoverable as the union of ``snapshot.apex`` keys), so the fold of
     day-slices watches exactly the domains a one-shot run would.
+    *scenario* installs a :class:`~repro.simnet.faults.FaultSchedule` on
+    the world for the duration of the run (cleared on exit, so shared
+    registry worlds go back pristine); observations are value-equal
+    across serial/batched/sharded execution of the same scenario.
     """
     config = world.config
     engine = ScanEngine(world)
@@ -232,33 +256,40 @@ def run_scheduled(
     # plus this run's own days); copied so the caller's set is untouched.
     seen_https = set() if seen_https is None else set(seen_https)
 
-    for date in schedule.scan_days:
-        world.set_time(date)
-        snapshot = _scan_one_day(
-            world, engine, date, seen_https, names=names,
-            scan_nameservers=scan_nameservers, batch=batch,
-        )
-        dataset.add_snapshot(snapshot)
-        if progress is not None:
-            progress(
-                f"{date} list={snapshot.list_size} "
-                f"https={snapshot.apex_https_count}/{snapshot.www_https_count}"
+    chaos = scenario is not None and bool(scenario)
+    if chaos:
+        world.install_faults(scenario)
+    try:
+        for date in schedule.scan_days:
+            world.set_time(date)
+            snapshot = _scan_one_day(
+                world, engine, date, seen_https, names=names,
+                scan_nameservers=scan_nameservers, batch=batch,
             )
+            dataset.add_snapshot(snapshot)
+            if progress is not None:
+                progress(
+                    f"{date} list={snapshot.list_size} "
+                    f"https={snapshot.apex_https_count}/{snapshot.www_https_count}"
+                )
 
-        if date in ech_days:
-            _run_ech_hourly(
-                world, engine, dataset, date, schedule.ech_sample, batch=batch
-            )
+            if date in ech_days:
+                _run_ech_hourly(
+                    world, engine, dataset, date, schedule.ech_sample, batch=batch
+                )
 
-        if (
-            schedule.dnssec_threshold is not None
-            and not dnssec_done
-            and date >= schedule.dnssec_threshold
-        ):
-            _dnssec_snapshot(world, dataset, date, names=names)
-            dnssec_done = True
+            if (
+                schedule.dnssec_threshold is not None
+                and not dnssec_done
+                and date >= schedule.dnssec_threshold
+            ):
+                _dnssec_snapshot(world, dataset, date, names=names)
+                dnssec_done = True
 
-    dataset.run_stats = RunStats.of_world(world)
+        dataset.run_stats = RunStats.of_world(world)
+    finally:
+        if chaos:
+            world.clear_faults()
     return dataset
 
 

@@ -68,6 +68,7 @@ import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..simnet.config import SimConfig
+from ..simnet.faults import FaultSchedule
 from ..simnet.snapshot import code_fingerprint, world_tag
 from .campaign import build_schedule, slice_schedule
 from .dataset import Dataset
@@ -326,12 +327,14 @@ class ContinuousCollector:
         snapshot_dir: Optional[str] = None,
         executor: str = "process",
         keep_alive: bool = False,
+        scenario: Optional[FaultSchedule] = None,
     ):
         if days_per_increment < 1:
             raise ValueError("need at least one scan day per increment")
         self.config = config if config is not None else SimConfig()
         self.checkpoint_dir = checkpoint_dir
         self.keep_alive = bool(keep_alive)
+        self.scenario = scenario
         self.workers = max(1, int(workers))
         self.days_per_increment = int(days_per_increment)
         self.schedule = build_schedule(
@@ -358,6 +361,7 @@ class ContinuousCollector:
             snapshot_dir=snapshot_dir,
             schedule=self.schedule,
             keep_alive=True,
+            scenario=scenario,
         )
         self.store = CheckpointStore(checkpoint_dir, self._meta())
         self.total_increments = len(self.slices) * self.workers
@@ -387,6 +391,14 @@ class ContinuousCollector:
                 ),
             },
             "slices": [[d.isoformat() for d in s] for s in self.slices],
+            # The fault scenario shapes every observation, so a resume
+            # must replay the increments under the same schedule (None
+            # for a fault-free collection — the historical header shape,
+            # so pre-scenario checkpoints stay resumable).
+            "scenario": (
+                None if self.scenario is None or not self.scenario
+                else self.scenario.canonical_tag()
+            ),
         }
 
     # -- public API --------------------------------------------------------

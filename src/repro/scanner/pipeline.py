@@ -65,6 +65,7 @@ from typing import (
 
 from ..simnet import timeline
 from ..simnet.config import SimConfig
+from ..simnet.faults import FaultSchedule
 from ..simnet.snapshot import checkin_world, checkout_world, ensure_world_snapshot
 from ..simnet.world import World
 from .campaign import (
@@ -124,6 +125,7 @@ def _scan_shard(
     config: SimConfig, schedule: CampaignSchedule, shards: int, index: int,
     batch: bool = False, snapshot_dir: Optional[str] = None,
     seen_https: FrozenSet[str] = frozenset(),
+    scenario: Optional[FaultSchedule] = None,
 ) -> Dataset:
     """Stage 1: run the daily-scan schedule over one domain shard.
 
@@ -141,7 +143,7 @@ def _scan_shard(
         quiet = dataclasses.replace(schedule, ech_days=())
         return run_scheduled(
             world, quiet, names=names, scan_nameservers=False, batch=batch,
-            seen_https=seen_https,
+            seen_https=seen_https, scenario=scenario,
         )
     finally:
         checkin_world(world)
@@ -152,10 +154,12 @@ def _scan_ns_shard(
     day_hostnames: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
     batch: bool = False,
     snapshot_dir: Optional[str] = None,
+    scenario: Optional[FaultSchedule] = None,
 ) -> Tuple[List[Tuple[datetime.date, str, NameServerObservation]], RunStats]:
     """Post-merge NS stage: resolve + WHOIS-attribute name servers."""
     world = checkout_world(config, snapshot_dir)
     try:
+        world.install_faults(scenario)
         engine = ScanEngine(world)
         results: List[Tuple[datetime.date, str, NameServerObservation]] = []
         for date, hostnames in sorted(day_hostnames):
@@ -174,10 +178,12 @@ def _scan_ech_shard(
     day_targets: Tuple[Tuple[datetime.date, Tuple[str, ...]], ...],
     batch: bool = False,
     snapshot_dir: Optional[str] = None,
+    scenario: Optional[FaultSchedule] = None,
 ) -> Tuple[List[EchObservation], RunStats]:
     """Stage 2: hourly ECH rescans for this shard's targets per day."""
     world = checkout_world(config, snapshot_dir)
     try:
+        world.install_faults(scenario)
         engine = ScanEngine(world)
         observations: List[EchObservation] = []
         for date, targets in sorted(day_targets):
@@ -298,6 +304,7 @@ class ParallelCampaignRunner:
         snapshot_dir: Optional[str] = None,
         schedule: Optional[CampaignSchedule] = None,
         keep_alive: bool = False,
+        scenario: Optional[FaultSchedule] = None,
     ):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -307,6 +314,7 @@ class ParallelCampaignRunner:
         self.batch = bool(batch)
         self.snapshot_dir = snapshot_dir
         self.keep_alive = bool(keep_alive)
+        self.scenario = scenario
         self.schedule = schedule if schedule is not None else build_schedule(
             day_step=day_step,
             start=start,
@@ -350,7 +358,7 @@ class ParallelCampaignRunner:
                 try:
                     dataset = run_scheduled(
                         world, schedule, progress=progress, batch=self.batch,
-                        seen_https=seen_https,
+                        seen_https=seen_https, scenario=self.scenario,
                     )
                 finally:
                     checkin_world(world)
@@ -360,6 +368,7 @@ class ParallelCampaignRunner:
                 dataset = run_scheduled(
                     World(self.config), schedule,
                     progress=progress, batch=self.batch, seen_https=seen_https,
+                    scenario=self.scenario,
                 )
             self.run_stats = dataset.run_stats
             return dataset
@@ -370,7 +379,7 @@ class ParallelCampaignRunner:
                     _scan_shard,
                     (
                         self.config, schedule, self.workers, index,
-                        self.batch, self.snapshot_dir, seen_https,
+                        self.batch, self.snapshot_dir, seen_https, self.scenario,
                     ),
                 )
                 for index in range(self.workers)
@@ -429,7 +438,7 @@ class ParallelCampaignRunner:
         args = {
             index: (
                 self.config, schedule, self.workers, index,
-                self.batch, self.snapshot_dir, seen,
+                self.batch, self.snapshot_dir, seen, self.scenario,
             )
             for index in indices
         }
@@ -529,7 +538,10 @@ class ParallelCampaignRunner:
                 for date, hostnames in sorted(day_hostnames.items())
             )
             tasks.append(
-                (_scan_ns_shard, (self.config, frozen, self.batch, self.snapshot_dir))
+                (
+                    _scan_ns_shard,
+                    (self.config, frozen, self.batch, self.snapshot_dir, self.scenario),
+                )
             )
         if not tasks:
             return RunStats()
@@ -569,7 +581,10 @@ class ParallelCampaignRunner:
                 (date, tuple(names)) for date, names in sorted(day_targets.items())
             )
             tasks.append(
-                (_scan_ech_shard, (self.config, frozen, self.batch, self.snapshot_dir))
+                (
+                    _scan_ech_shard,
+                    (self.config, frozen, self.batch, self.snapshot_dir, self.scenario),
+                )
             )
         if not tasks:
             return RunStats()

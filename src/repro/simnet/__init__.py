@@ -18,6 +18,7 @@ derive from the config's seed — so built worlds are cacheable artifacts.
 from . import timeline
 from .cohorts import DomainProfile, ECH_TEST_DOMAINS, SPECIAL_DOMAINS, make_profile
 from .config import SimConfig
+from .faults import FaultInjector, FaultSchedule, FaultSpec
 from .providers import PROVIDERS, ProviderSpec
 from .snapshot import (
     SnapshotError,
@@ -40,6 +41,9 @@ __all__ = [
     "SPECIAL_DOMAINS",
     "make_profile",
     "SimConfig",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
     "PROVIDERS",
     "ProviderSpec",
     "ECH_PUBLIC_NAME",

@@ -256,14 +256,21 @@ def build_https_rdatas(
     date: datetime.date,
     is_www: bool,
     ech_wire: Optional[bytes],
+    overlay: Optional[object] = None,
 ) -> List[HTTPSRdata]:
     """The HTTPS RRset contents for the apex (or www) on *date*.
 
     *ech_wire* is the ECHConfigList published by the shared client-facing
     server at this instant; pass None to omit the ech parameter.
+
+    *overlay* (duck-typed :class:`~repro.simnet.faults.ZoneOverlay`)
+    carries injected-fault mutations; ``hint_v4``/``hint_v6`` replace
+    the synthesized IP hints with stale addresses when set.
     """
     seed = config.seed
     a_v4, a_v6, hint_v4, hint_v6 = serving_addresses(profile, config, date)
+    if overlay is not None and overlay.hint_v4 is not None:
+        hint_v4, hint_v6 = overlay.hint_v4, overlay.hint_v6
     include_ech = ech_wire is not None and ech_enabled(profile, config, date, is_www)
 
     # Cloudflare default config: the well-known proxied record.
@@ -368,8 +375,14 @@ def build_zone(
     date: datetime.date,
     ech_wire: Optional[bytes],
     hour: float = 0.0,
+    overlay: Optional[object] = None,
 ) -> Zone:
-    """The domain's full zone as served on *date* (+*hour* for ECH scans)."""
+    """The domain's full zone as served on *date* (+*hour* for ECH scans).
+
+    *overlay* (duck-typed :class:`~repro.simnet.faults.ZoneOverlay`)
+    applies injected-fault mutations: stale IP hints in the HTTPS RRset
+    and/or signing with an already-expired RRSIG validity window.
+    """
     apex = profile.apex
     www = profile.www
     zone = Zone(apex, allow_apex_cname=profile.www_only, default_ttl=config.default_ttl)
@@ -396,14 +409,14 @@ def build_zone(
         zone.add_rrset(RRset(apex, rdtypes.A, config.default_ttl, [ARdata(a_v4)]))
         zone.add_rrset(RRset(apex, rdtypes.AAAA, config.default_ttl, [AAAARdata(a_v6)]))
         if has_https and not profile.www_only:
-            rdatas = build_https_rdatas(profile, config, date, False, ech_wire)
+            rdatas = build_https_rdatas(profile, config, date, False, ech_wire, overlay)
             zone.add_rrset(RRset(apex, rdtypes.HTTPS, config.default_ttl, rdatas))
 
     # www branch.
     zone.add_rrset(RRset(www, rdtypes.A, config.default_ttl, [ARdata(a_v4)]))
     zone.add_rrset(RRset(www, rdtypes.AAAA, config.default_ttl, [AAAARdata(a_v6)]))
     if has_https and profile.www_has_record:
-        rdatas = build_https_rdatas(profile, config, date, True, ech_wire)
+        rdatas = build_https_rdatas(profile, config, date, True, ech_wire, overlay)
         zone.add_rrset(RRset(www, rdtypes.HTTPS, config.default_ttl, rdatas))
 
     if profile.provider_key == "selfhosted":
@@ -412,7 +425,13 @@ def build_zone(
         zone.add_rrset(RRset(apex.prepend("ns2"), rdtypes.A, config.default_ttl, [ARdata(ns_ip)]))
 
     if dnssec_active(profile, config, date):
-        zone.sign(timeline.epoch_seconds(date) - 3600)
+        inception = timeline.epoch_seconds(date) - 3600
+        if overlay is not None and overlay.expired_rrsig:
+            # Injected DNSSEC breakage: the validity window closed an
+            # hour before today began, so validators go BOGUS.
+            zone.sign(inception - 30 * 86400, expiration=inception)
+        else:
+            zone.sign(inception)
     return zone
 
 

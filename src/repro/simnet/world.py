@@ -33,7 +33,7 @@ from ..resolver.network import Network
 from ..resolver.recursive import RecursiveResolver
 from ..resolver.stub import ResolverFrontend, StubResolver
 from ..zones.zone import Zone
-from . import domains, ipspace, timeline
+from . import domains, faults, ipspace, timeline
 from .cohorts import DomainProfile, make_profile
 from .config import SimConfig
 from .providers import PROVIDERS, ProviderSpec
@@ -160,6 +160,12 @@ class DynamicTldZone(Zone):
         date = self.world.current_date
         if not (profile.ds_uploaded and domains.dnssec_active(profile, config, date)):
             return None, []
+        injector = self.world.fault_injector
+        if injector is not None and injector.ds_suppressed(child, date):
+            # Injected §4.5.1 failure: the DS upload "never happened"
+            # while the fault is active (checked before the per-day
+            # cache so the suppressed answer is never memoized).
+            return None, []
         cache_key = (child, timeline.day_index(date))
         cached = self._ds_cache.get(cache_key)
         if cached is not None:
@@ -263,6 +269,7 @@ class World:
 
         self._zone_cache: Dict[int, Zone] = {}
         self._zone_cache_stamp: Tuple[datetime.date, int] = (self.current_date, 0)
+        self._fault_injector: Optional[faults.FaultInjector] = None
 
         self._build_infrastructure()
         self._build_resolvers()
@@ -279,7 +286,12 @@ class World:
         A reset world answers every query bit-for-bit like a freshly
         built one, which is what lets the snapshot registry
         (:mod:`~repro.simnet.snapshot`) hand one world to a sequence of
-        pipeline tasks instead of rebuilding per task."""
+        pipeline tasks instead of rebuilding per task.
+
+        Installed fault schedules are cleared too: snapshots and
+        registry checkins must stay scenario-free, so every run
+        re-installs its own schedule after checkout."""
+        self.clear_faults()
         self.current_date = timeline.STUDY_START
         self.current_hour = 0.0
         self.clock.rewind(timeline.epoch_seconds(timeline.STUDY_START))
@@ -455,6 +467,36 @@ class World:
         if stamp != self._zone_cache_stamp:
             self._zone_cache.clear()
             self._zone_cache_stamp = stamp
+        if self._fault_injector is not None:
+            self._fault_injector.on_time(date, hour)
+
+    # ------------------------------------------------------------------
+    # fault schedules (chaos scenarios)
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_injector(self) -> Optional["faults.FaultInjector"]:
+        return self._fault_injector
+
+    def install_faults(self, schedule: Optional["faults.FaultSchedule"]) -> None:
+        """Compile *schedule* into this world's network/zone hooks.
+
+        Replaces any previously installed schedule; ``None`` (or an
+        empty schedule) just clears. The per-day zone cache is flushed
+        both ways so zone-level faults appear/disappear immediately."""
+        self.clear_faults()
+        if schedule is None or not schedule.specs:
+            return
+        self._fault_injector = faults.FaultInjector(self, schedule)
+        self._fault_injector.arm()
+        self._zone_cache.clear()
+
+    def clear_faults(self) -> None:
+        if self._fault_injector is None:
+            return
+        self._fault_injector.disarm()
+        self._fault_injector = None
+        self._zone_cache.clear()
 
     def absolute_hour(self) -> int:
         return timeline.day_index(self.current_date) * 24 + int(self.current_hour)
@@ -525,8 +567,15 @@ class World:
         zone = self._zone_cache.get(profile.index)
         if zone is None:
             ech_wire = self.ech_manager.published_wire(self.absolute_hour())
+            overlay = None
+            if self._fault_injector is not None:
+                overlay = self._fault_injector.zone_overlay(profile, self.current_date)
+                ech_wire = self._fault_injector.ech_wire_for(
+                    profile, self.current_date, ech_wire, self.absolute_hour()
+                )
             zone = domains.build_zone(
-                profile, self.config, self.current_date, ech_wire, self.current_hour
+                profile, self.config, self.current_date, ech_wire, self.current_hour,
+                overlay=overlay,
             )
             if self._infra_provider.get(profile.apex) is not None:
                 # Domain doubles as an NS suffix (cf-ns.com): host the
@@ -561,6 +610,8 @@ class World:
     def tls_reachable(self, profile: DomainProfile, ip: str, date: Optional[datetime.date] = None) -> bool:
         """Would a TLS handshake to *ip* for this domain succeed today?"""
         date = date or self.current_date
+        if not self.network.is_reachable(ip, 443):
+            return False  # scheduled outage of the web endpoint
         a_v4, a_v6, hint_v4, hint_v6 = domains.serving_addresses(profile, self.config, date)
         if not domains.hint_mismatch_active(profile, self.config, date):
             return ip in (a_v4, a_v6, hint_v4, hint_v6)

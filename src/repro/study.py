@@ -82,6 +82,7 @@ from .scanner.dataset import Dataset, cache_path, checkpoint_dir_path
 from .scanner.incremental import coverage_gaps
 from .scanner.pipeline import ParallelCampaignRunner
 from .simnet.config import SimConfig
+from .simnet.faults import FaultSchedule
 
 RELEASE_VERSION = 1
 
@@ -142,12 +143,21 @@ class StudySpec:
     ech_sample: object = UNSET  # int
     with_ech_hourly: object = UNSET  # bool
     with_dnssec_snapshot: object = UNSET  # bool
+    # Chaos scenario: a declarative fault schedule injected into the
+    # world for the whole run (None/empty = the fault-free study). Part
+    # of dataset identity — the faults shape every observation — so it
+    # joins the cache tag via its canonical string form.
+    scenario: Optional[FaultSchedule] = None
 
     def __post_init__(self):
         if self.config is None:
             object.__setattr__(self, "config", SimConfig.from_env())
         if not isinstance(self.config, SimConfig):
             raise TypeError(f"config must be a SimConfig, got {self.config!r}")
+        if self.scenario is not None and not isinstance(self.scenario, FaultSchedule):
+            raise TypeError(
+                f"scenario must be a FaultSchedule, got {self.scenario!r}"
+            )
         if not isinstance(self.day_step, int) or isinstance(self.day_step, bool):
             raise TypeError(f"day_step must be an int, got {self.day_step!r}")
         if self.day_step < 1:
@@ -182,6 +192,11 @@ class StudySpec:
         ``load_or_run_campaign`` key, so existing cache entries survive.
         """
         tag_kwargs = self.schedule_overrides()
+        # An empty schedule is the fault-free study: it stays out of the
+        # tag so the key is byte-identical to the pre-scenario construction
+        # (existing cache entries keep hitting).
+        if self.scenario is not None and self.scenario:
+            tag_kwargs["scenario"] = self.scenario.canonical_tag()
         if extra:
             tag_kwargs.update(extra)
         return (
@@ -545,6 +560,7 @@ class Study:
                 snapshot_dir=self.plan.snapshot_dir,
                 schedule=self.schedule,
                 keep_alive=True,
+                scenario=self.spec.scenario,
             )
         return self._runner
 
@@ -560,6 +576,7 @@ class Study:
                 snapshot_dir=self.plan.snapshot_dir,
                 executor=self.plan.executor,
                 keep_alive=True,
+                scenario=self.spec.scenario,
                 **self.spec.schedule_overrides(),
             )
         return self._collector

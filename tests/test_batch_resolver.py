@@ -250,10 +250,10 @@ class _RecordingNetwork:
         self._network = network
         self.log = []
 
-    def send_dns_query(self, ip, query):
+    def send_dns_query(self, ip, query, attempt=0):
         question = query.questions[0]
         self.log.append((ip, question.name, question.rdtype))
-        return self._network.send_dns_query(ip, query)
+        return self._network.send_dns_query(ip, query, attempt)
 
 
 class TestServerSelectionUnchanged:
@@ -394,3 +394,43 @@ class TestCampaignEquivalence:
         assert runner.run_stats.dns_queries > 0
         assert runner.run_stats.batch_jobs > 0
         assert batched.run_stats is runner.run_stats
+
+    def test_faulted_campaign_serial_equals_batched(self):
+        """Equivalence must survive an active chaos schedule: drop
+        decisions key on the explicit attempt number, so in-flight
+        coalescing cannot change which queries a fault eats."""
+        from repro.simnet.faults import FaultSchedule, FaultSpec
+        from repro.simnet.providers import PROVIDERS
+
+        scenario = FaultSchedule(
+            name="equiv",
+            specs=(
+                FaultSpec(
+                    kind="packet_loss",
+                    ip=PROVIDERS["cloudflare"].server_ip,
+                    rate=0.4,
+                    start=datetime.date(2023, 7, 17),
+                    end=datetime.date(2023, 7, 21),
+                ),
+                FaultSpec(
+                    kind="timeout",
+                    ip=PROVIDERS["godaddy"].server_ip,
+                    start=datetime.date(2023, 7, 17),
+                    end=datetime.date(2023, 7, 21),
+                ),
+            ),
+        )
+        serial = run_campaign(World(self.CONFIG), scenario=scenario, **self.ECH_KWARGS)
+        batched = run_campaign(
+            World(self.CONFIG), batch=True, scenario=scenario, **self.ECH_KWARGS
+        )
+        assert serial.run_stats.timeouts > 0
+        assert batched.run_stats.timeouts > 0
+        assert batched == serial
+        # ...and through the sharded pipeline under the same schedule.
+        runner = ParallelCampaignRunner(
+            self.CONFIG, workers=3, executor="thread", batch=True,
+            scenario=scenario, **self.ECH_KWARGS
+        )
+        assert runner.run() == serial
+        assert runner.run_stats.timeouts > 0

@@ -259,6 +259,29 @@ class TestMutations:
         ), findings
 
 
+    def test_dropping_scenario_from_cache_tag_fires(self):
+        """The chaos `scenario` field is dataset identity; silently
+        dropping it from cache_tag() would alias faulted datasets onto
+        fault-free cache entries. TAG01 must catch that mutation."""
+        study_py = os.path.join(SRC, "repro", "study.py")
+        with open(study_py) as handle:
+            source = handle.read()
+        mutated = source.replace(
+            "        if self.scenario is not None and self.scenario:\n"
+            '            tag_kwargs["scenario"] = self.scenario.canonical_tag()\n',
+            "",
+        )
+        assert mutated != source, "mutation did not apply"
+        clean = lint_source(parse_source(study_py, module="repro.study"))
+        assert [f for f in clean if f.code == "TAG01"] == []
+        findings = lint_source(
+            parse_source(study_py, text=mutated, module="repro.study")
+        )
+        assert any(
+            f.code == "TAG01" and "scenario" in f.message for f in findings
+        ), findings
+
+
 class TestEngine:
     def test_module_guess(self):
         from repro.devtools.codelint.engine import module_guess

@@ -29,6 +29,8 @@ from repro.scanner import (
     slice_schedule,
 )
 from repro.simnet import SimConfig, World, timeline
+from repro.simnet.faults import FaultSchedule, FaultSpec
+from repro.simnet.providers import PROVIDERS
 
 POPULATION = 120
 CONFIG = SimConfig(population=POPULATION)
@@ -69,15 +71,35 @@ def one_shot_late():
     return run_campaign(World(CONFIG), **LATE_KWARGS)
 
 
-def _collector(checkpoint_dir, workers=2, days_per_increment=2, kwargs=ECH_KWARGS):
+def _collector(
+    checkpoint_dir, workers=2, days_per_increment=2, kwargs=ECH_KWARGS, scenario=None
+):
     return ContinuousCollector(
         CONFIG,
         str(checkpoint_dir),
         workers=workers,
         days_per_increment=days_per_increment,
         executor="thread",
+        scenario=scenario,
         **kwargs,
     )
+
+
+# A chaos schedule straddling the ECH window: increments before, during,
+# and after the fault see different worlds, so a resume that re-armed
+# (or forgot to re-arm) the schedule would diverge from the one-shot.
+CHAOS = FaultSchedule(
+    name="chaos-resume",
+    specs=(
+        FaultSpec(
+            kind="packet_loss",
+            ip=PROVIDERS["cloudflare"].server_ip,
+            rate=0.4,
+            start=datetime.date(2023, 7, 17),
+            end=datetime.date(2023, 7, 21),
+        ),
+    ),
+)
 
 
 class TestSliceSchedule:
@@ -236,6 +258,19 @@ class TestResume:
                 continue
         assert final == one_shot_ech
 
+    def test_resume_mid_scenario_equals_one_shot(self, tmp_path):
+        """Kill the collection inside the fault window; the resumed
+        session must re-install the schedule on its checked-out worlds
+        and land value-equal to the one-shot scenario run."""
+        one_shot = run_campaign(World(CONFIG), scenario=CHAOS, **ECH_KWARGS)
+        assert one_shot.run_stats.timeouts > 0, "schedule must actually bite"
+        with pytest.raises(CollectionInterrupted):
+            _collector(tmp_path / "ckpt", scenario=CHAOS).collect(max_increments=2)
+        resumed = _collector(tmp_path / "ckpt", scenario=CHAOS).collect()
+        assert resumed == one_shot
+        assert resumed.run_stats.timeouts > 0
+        assert load_checkpoint_dataset(str(tmp_path / "ckpt")) == one_shot
+
     def test_corrupt_part_is_rerun_not_trusted(self, one_shot_ech, tmp_path):
         with pytest.raises(CollectionInterrupted):
             _collector(tmp_path / "ckpt").collect(max_increments=1)
@@ -280,6 +315,25 @@ class TestCheckpointIdentity:
                 executor="thread",
                 **TINY_KWARGS,
             )
+
+    def test_scenario_mismatch_rejected(self, tmp_path):
+        """A checkpoint written under a chaos schedule names a different
+        dataset than the fault-free collection (and vice versa)."""
+        self._interrupt(tmp_path, scenario=CHAOS)
+        with pytest.raises(CheckpointError, match="scenario"):
+            _collector(tmp_path / "ckpt", kwargs=TINY_KWARGS)
+
+    def test_pre_scenario_checkpoint_still_resumable(self, tmp_path):
+        """Old checkpoints lack the "scenario" header key; a fault-free
+        resume must accept them instead of demanding a restart."""
+        self._interrupt(tmp_path)
+        meta_path = tmp_path / "ckpt" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        assert meta["scenario"] is None
+        del meta["scenario"]
+        meta_path.write_text(json.dumps(meta))
+        resumed = _collector(tmp_path / "ckpt", kwargs=TINY_KWARGS)
+        assert resumed.pending_increments()
 
     def test_version_mismatch_rejected(self, tmp_path):
         self._interrupt(tmp_path)
