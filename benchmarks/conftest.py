@@ -15,8 +15,10 @@ form the :class:`~repro.study.StudySpec`, and
 ``REPRO_BATCH`` (batched resolution core), ``REPRO_SNAPSHOT`` (warm
 worker worlds from the on-disk snapshot cache under ``.cache/worlds``),
 ``REPRO_CONTINUOUS`` (build through the checkpointing continuous
-collector), and ``REPRO_GC`` (``pause`` suspends cyclic GC for the whole
-run). The dataset is identical under every knob combination.
+collector), ``REPRO_ANSWER_CACHE`` (the layered answer fast path —
+default on; set 0 to synthesize every upstream reply from scratch), and
+``REPRO_GC`` (``pause`` suspends cyclic GC for the whole run). The
+dataset is identical under every knob combination.
 """
 
 from __future__ import annotations

@@ -101,6 +101,13 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
                              "batch with in-flight query coalescing "
                              "(--no-batch for one blocking resolve at a time; "
                              "same dataset either way)")
+    parser.add_argument("--answer-cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="arm the layered answer fast path: rendered-answer "
+                             "+ zone-body + wire-byte caches on the simulated "
+                             "authoritative side (--no-answer-cache to "
+                             "synthesize every reply from scratch; same "
+                             "dataset either way)")
     parser.add_argument("--snapshot-dir", metavar="DIR", default=None,
                         help="directory for the world snapshot cache, so "
                              "pipeline workers deserialize a pre-built signed "
@@ -197,6 +204,7 @@ def scan_main(argv: Optional[List[str]] = None) -> int:
         days_per_increment=args.increment_days or 7,
         max_increments=args.max_increments,
         release_dir=args.release_dir or "releases",
+        answer_cache=args.answer_cache,
     )
     with Study(spec, plan) as study:
         try:

@@ -16,6 +16,12 @@ burned by (see README.md in this directory for the incident history):
 * ``GC01`` — GC pauses only through ``repro/gcutils.py``.
 * ``FSTR01`` — no placeholder-less f-strings (the zone linter's own
   ``ipv6hint-mismatch`` message bug).
+* ``INV01`` — paired invalidation: any scope that clears a
+  ``_zone_cache`` must also invalidate the layered answer cache — or
+  carry a justified ``# codelint: disable=INV01`` proving the cache's
+  (uid, stamp) keys and per-entry guards already cover everything the
+  flush changes (the ``World.set_time`` day flush is the one such
+  suppression).
 """
 
 from __future__ import annotations
@@ -554,6 +560,82 @@ class GcHygieneRule(Rule):
                     f"{dotted}() outside repro/gcutils.py; use "
                     "gcutils.paused_gc() so nested pause windows compose",
                 )
+
+
+# ---------------------------------------------------------------------------
+# INV01 — paired cache invalidation
+# ---------------------------------------------------------------------------
+
+#: call-chain tails that count as invalidating the answer fast path.
+_ANSWER_INVALIDATORS = ("invalidate", "reset", "clear", "set_enabled")
+
+
+def _is_zone_cache_clear(chain: List[str]) -> bool:
+    return len(chain) >= 2 and chain[-2] == "_zone_cache" and chain[-1] == "clear"
+
+
+def _is_answer_cache_invalidation(chain: List[str]) -> bool:
+    if chain[-1] == "set_answer_cache":
+        return True
+    return "answer_cache" in chain[:-1] and chain[-1] in _ANSWER_INVALIDATORS
+
+
+@register
+class PairedInvalidationRule(Rule):
+    code = "INV01"
+    name = "zone-cache-clear-without-answer-invalidate"
+    severity = Severity.ERROR
+    rationale = (
+        "the layered answer fast path memoizes responses rendered from "
+        "the zones in World._zone_cache; a scope that clears the zone "
+        "cache without also invalidating the answer cache (an "
+        "answer_cache .invalidate()/.reset()/.clear()/.set_enabled() "
+        "call, or set_answer_cache()) risks the fast path serving "
+        "answers the flushed state no longer backs — stale bytes with "
+        "no error. Where the answer cache's (uid, stamp) keys and "
+        "per-entry guards provably cover everything the flush changes, "
+        "suppress with a justified '# codelint: disable=INV01' instead."
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        yield from self._check_scope(src, [src.tree])
+
+    def _check_scope(self, src: SourceFile, body: Sequence[ast.AST]) -> Iterator[Finding]:
+        roots: List[ast.AST] = []
+        for node in body:
+            roots.extend(ast.iter_child_nodes(node))
+
+        clears: List[ast.AST] = []
+        invalidates = False
+        scopes: List[ast.AST] = []
+        for node in _walk_skipping_scopes(roots):
+            if isinstance(node, _SCOPE_NODES):
+                scopes.append(node)
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted_chain(node.func)
+            if chain is None:
+                continue
+            if _is_zone_cache_clear(chain):
+                clears.append(node)
+            elif _is_answer_cache_invalidation(chain):
+                invalidates = True
+
+        if clears and not invalidates:
+            for node in clears:
+                yield self.finding(
+                    src, node,
+                    "._zone_cache.clear() without a paired answer-cache "
+                    "invalidation in the same scope; add "
+                    "answer_cache.invalidate()/.reset() (or "
+                    "set_answer_cache) so the fast path cannot serve "
+                    "answers rendered from the zones just discarded",
+                )
+        for scope in scopes:
+            if isinstance(scope, ast.Lambda):
+                continue
+            yield from self._check_scope(src, [scope])
 
 
 # ---------------------------------------------------------------------------

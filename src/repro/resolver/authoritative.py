@@ -10,18 +10,369 @@ Two behaviour knobs model real-provider quirks the paper measures:
   for HTTPS queries even when the zone owner configured the record
   (§4.2.3, mixed-provider intermittency);
 * ``drop_rrsigs`` — providers that serve records but no signatures.
+
+**Answer fast path (tier 1 of 3).** A world-shared :class:`AnswerCache`
+memoises the assembled response sections per (zone identity, server
+quirks, qname, qtype, DO bit): a repeated question is a dict hit
+instead of a tree-walk + RRset/RRSIG assembly pass. The cache sits
+*behind* query logging and the network fault hook, so ``query_log`` and
+``dns_query_count`` are identical with the cache on or off, and faulted
+deliveries never touch it. Both provider quirks join the key, so two
+servers with different quirks can share one cache (mixed-provider
+domains serve the *same* :class:`~repro.zones.zone.Zone` object from
+both of their providers).
+
+**Staleness is keyed out, not flushed out.** Zone identity in the key is
+``(zone.uid, zone.cache_stamp())``: ``uid`` is unique per live zone
+instance (a rebuilt zone can never alias its predecessor's entries) and
+``cache_stamp()`` is the zone's own freshness stamp (the monotonic
+mutation ``version``). Two per-entry guards cover what the key cannot:
+SOA-bearing entries (NXDOMAIN/NODATA/apex-SOA) pin the serial they were
+rendered under — the zone-body reuse path rolls serials *without*
+bumping ``version`` — and entries from zones that synthesize answers
+out of live world state (:class:`~repro.simnet.world.DynamicTldZone`)
+carry a :meth:`~repro.zones.zone.Zone.answer_guard` token revalidated
+on the first hit of each new day. Entries therefore survive day and
+ECH-generation changes — the cross-day hits are most of the win — and
+:class:`~repro.simnet.world.World` only calls
+:meth:`AnswerCache.invalidate` on the events neither keys nor guards
+can see: fault install/clear (fault hooks change answers behind the
+zones' backs) and ``World.reset()``. codelint's ``INV01`` rule enforces
+that every ``_zone_cache`` flush either invalidates alongside or
+carries an explicit justified suppression.
+
+Tier 3 rides on the tier-1 entry: in ``wire_mode`` the entry carries the
+encoded response bytes plus the decoded client-side message for one
+header signature (flags/rcode/EDNS), so a repeated wire-mode answer
+skips the entire encode **and** decode pass — see
+:meth:`AnswerCache.wire_roundtrip` and :mod:`repro.resolver.network`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+import struct
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Set, Tuple
 
 from ..dnscore import rdtypes
 from ..dnscore.message import Message
 from ..dnscore.names import Name
+from ..dnscore.rdata import SOARdata
 from ..dnscore.rrset import RRset
 from ..zones.tree import ZoneTree
 from ..zones.zone import Zone
+
+# Entries survive day and ECH-generation changes (staleness is handled
+# by the key, not by flushing), so the LRU bound is what keeps a long
+# longitudinal run from accumulating every question it ever answered.
+ANSWER_CACHE_CAPACITY = 200_000
+
+
+class CachedAnswer:
+    """One rendered answer: the response sections :meth:`AuthoritativeServer.
+    handle_query` computed for a (zone, question, quirks) key, plus the
+    tier-3 wire/decode template once the response has been encoded."""
+
+    __slots__ = (
+        "rcode", "authoritative", "answers", "authority", "additional",
+        "soa_serial", "guard", "wire", "decoded",
+    )
+
+    def __init__(self, response: Message):
+        self.rcode = response.rcode
+        self.authoritative = response.authoritative
+        self.answers = tuple(response.answers)
+        self.authority = tuple(response.authority)
+        self.additional = tuple(response.additional)
+        # SOA serial the answer was rendered under, if it carries the
+        # SOA (set by handle_query); None for SOA-free answers, which
+        # stay valid across serial rolls.
+        self.soa_serial: Optional[int] = None
+        # Zone-specific freshness token (Zone.answer_guard) revalidated
+        # per hit; None for answers valid while (uid, stamp) match.
+        self.guard = None
+        # (header signature, encoded bytes) and the decoded client-side
+        # Message for that signature — filled by wire_roundtrip.
+        self.wire: Optional[Tuple[tuple, bytes]] = None
+        self.decoded: Optional[Message] = None
+
+
+class AnswerCache:
+    """World-shared rendered-answer + wire-byte cache (tiers 1 and 3).
+
+    Starts ``enabled=False``: a cache that is not explicitly switched on
+    by the campaign driver (``run_scheduled``'s ``answer_cache`` knob)
+    changes nothing. ``invalidate()`` drops the rendered entries —
+    called by the world on fault install/clear, the one event the
+    (uid, stamp, serial) keys cannot see coming.
+    """
+
+    def __init__(self, capacity: int = ANSWER_CACHE_CAPACITY):
+        self.capacity = capacity
+        self.enabled = False
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.wire_hits = 0
+        self.query_hits = 0
+        self.serial_refreshes = 0
+        self._entries: "OrderedDict[tuple, CachedAnswer]" = OrderedDict()
+        # Decoded query templates (client→server leg). A query parse is a
+        # pure function of its bytes — no zone or clock dependence — so
+        # these never invalidate, only evict.
+        self._queries: "OrderedDict[tuple, Message]" = OrderedDict()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def set_enabled(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled == self.enabled:
+            return
+        self.enabled = enabled
+        # Toggling either way starts from a clean slate: a disabled run
+        # must do zero cache work, and a re-enabled run must not serve
+        # entries from before the gap.
+        self._entries.clear()
+        self._queries.clear()
+
+    def invalidate(self) -> None:
+        """Drop every rendered entry (answers changed behind the keys)."""
+        self._entries.clear()
+
+    def reset(self) -> None:
+        """Back to the just-built state: disabled, empty, counters zeroed."""
+        self.enabled = False
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.wire_hits = 0
+        self.query_hits = 0
+        self.serial_refreshes = 0
+        self._entries.clear()
+        self._queries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- tier 1: rendered answers ------------------------------------------
+
+    def lookup(self, key: tuple, zone: Optional[Zone] = None) -> Optional[CachedAnswer]:
+        """Return the live entry for *key*, or None (counted as a miss).
+
+        An entry that carries the SOA pins the serial it was rendered
+        under; when *zone* is given, such an entry only hits while the
+        zone's serial still matches (``roll_soa_serial`` advances serials
+        without bumping the version that keys the cache). On an unsigned
+        zone a serial mismatch is repaired in place rather than missed:
+        the fresh synthesis would differ from the entry in exactly the
+        SOA it attaches, so :meth:`_refresh_serial` swaps in the zone's
+        current SOA and patches the wire template's 4 serial bytes."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            guard = entry.guard
+            # key[3]/key[4] are the question name/rdtype (see
+            # AuthoritativeServer.handle_query's key layout).
+            if guard is None or zone is None or zone.validate_guard(
+                guard, key[3], key[4]
+            ):
+                serial = entry.soa_serial
+                if serial is None or zone is None or serial == zone.soa_serial:
+                    self.hits += 1
+                    return entry
+                # Signed zones re-sign after a roll (version bump → new
+                # key), so a refresh would have to reconcile RRSIGs too;
+                # restricting it to unsigned zones keeps the patch exact.
+                if not zone.signed and self._refresh_serial(entry, zone):
+                    self.hits += 1
+                    return entry
+        self.misses += 1
+        return None
+
+    def _refresh_serial(self, entry: CachedAnswer, zone: Zone) -> bool:
+        """Advance a SOA-bearing entry to *zone*'s current serial.
+
+        ``roll_soa_serial`` replaces only the SOA RRset of an otherwise
+        unchanged unsigned zone, so the answer this entry would be
+        re-synthesized into differs in exactly one RRset: swap the
+        zone's current SOA into the cached sections (the same object a
+        fresh ``_attach_soa`` would append) and splice the new serial
+        into the encoded template — its only encoding is the 4-byte u32
+        in the SOA rdata, located by searching for the old serial's
+        bytes. If that byte pattern is not unique in the message the
+        templates are dropped instead, and the next wire round trip
+        re-encodes from the refreshed sections."""
+        new_soa = zone.soa
+        new_serial = zone.soa_serial
+        if new_soa is None or new_serial is None:
+            return False
+        old_serial = entry.soa_serial
+        replaced = False
+        for section_name in ("authority", "answers"):
+            section = getattr(entry, section_name)
+            for i, rrset in enumerate(section):
+                if rrset.rdtype == rdtypes.SOA and rrset.name == zone.apex:
+                    setattr(
+                        entry, section_name,
+                        section[:i] + (new_soa,) + section[i + 1:],
+                    )
+                    replaced = True
+                    break
+            if replaced:
+                break
+        if not replaced:
+            return False
+        entry.soa_serial = new_serial
+        cached = entry.wire
+        if cached is not None:
+            wire = cached[1]
+            needle = struct.pack("!I", old_serial)
+            idx = wire.find(needle)
+            if idx < 0 or wire.find(needle, idx + 1) != -1:
+                entry.wire = None
+                entry.decoded = None
+            else:
+                patched_wire = (
+                    wire[:idx] + struct.pack("!I", new_serial) + wire[idx + 4:]
+                )
+                decoded = self._patch_decoded(entry.decoded, zone.apex, new_serial)
+                if decoded is None:
+                    entry.wire = None
+                    entry.decoded = None
+                else:
+                    entry.wire = (cached[0], patched_wire)
+                    entry.decoded = decoded
+        self.serial_refreshes += 1
+        return True
+
+    @staticmethod
+    def _patch_decoded(decoded: Optional[Message], apex: Name, new_serial: int) -> Optional[Message]:
+        """Clone the decoded client-side template with its SOA serial
+        replaced. A clone (not an in-place edit) because the old template
+        has been handed to clients as a live response; a fresh RRset (not
+        an rdata edit) because resolvers may have cached the old one."""
+        if decoded is None:
+            return None
+        for section_name in ("authority", "answers"):
+            section = getattr(decoded, section_name)
+            for i, rrset in enumerate(section):
+                if rrset.rdtype == rdtypes.SOA and rrset.name == apex:
+                    old = rrset[0]
+                    patched = RRset(
+                        rrset.name,
+                        rrset.rdtype,
+                        rrset.ttl,
+                        [
+                            SOARdata(
+                                old.mname, old.rname, new_serial,
+                                refresh=old.refresh, retry=old.retry,
+                                expire=old.expire, minimum=old.minimum,
+                            )
+                        ],
+                    )
+                    clone = Message(decoded.msg_id)
+                    clone.flags = decoded.flags
+                    clone.rcode = decoded.rcode
+                    clone.opcode = decoded.opcode
+                    clone.use_edns = decoded.use_edns
+                    clone.edns_payload_size = decoded.edns_payload_size
+                    clone.dnssec_ok = decoded.dnssec_ok
+                    clone.questions = list(decoded.questions)
+                    clone.answers = list(decoded.answers)
+                    clone.authority = list(decoded.authority)
+                    clone.additional = list(decoded.additional)
+                    getattr(clone, section_name)[i] = patched
+                    return clone
+        return None
+
+    def store(self, key: tuple, response: Message, zone: Optional[Zone] = None) -> CachedAnswer:
+        entry = CachedAnswer(response)
+        if zone is not None:
+            for rrset in entry.authority:
+                if rrset.rdtype == rdtypes.SOA:
+                    entry.soa_serial = zone.soa_serial
+                    break
+            else:
+                for rrset in entry.answers:
+                    if rrset.rdtype == rdtypes.SOA:
+                        entry.soa_serial = zone.soa_serial
+                        break
+            entry.guard = zone.answer_guard(key[3], key[4])
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    # -- tier 3: wire bytes ------------------------------------------------
+
+    def wire_roundtrip(self, response: Message, entry: CachedAnswer) -> Message:
+        """The wire-mode server→client round trip for a cached answer.
+
+        The entry's encoded bytes and decoded client-side message are
+        valid for any response whose header matches the stored signature
+        (flags including RD, rcode, opcode, EDNS negotiation, DO) — a
+        repeated answer skips the entire encode/decode pass and returns
+        the shared decoded template. Sharing is safe because the
+        resolver treats upstream responses as immutable (it copies the
+        sections it keeps; ``Message.msg_id`` on responses is never
+        validated); anything that broke that contract would diverge from
+        the cache-off run and fail the equivalence suites.
+        """
+        signature = (
+            response.flags,
+            response.rcode,
+            response.opcode,
+            response.use_edns,
+            response.edns_payload_size,
+            response.dnssec_ok,
+        )
+        cached = entry.wire
+        if cached is not None and cached[0] == signature:
+            self.wire_hits += 1
+            return entry.decoded
+        wire = response.to_wire()
+        decoded = Message.from_wire(wire)
+        entry.wire = (signature, wire)
+        entry.decoded = decoded
+        return decoded
+
+    def query_roundtrip(self, query: Message) -> Message:
+        """The wire-mode client→server leg: ``Message.from_wire(query.
+        to_wire())`` memoised on the question + header fields.
+
+        A parsed query is a pure function of its bytes, so the template
+        never goes stale; each hit returns a per-call clone carrying the
+        live transaction's ``msg_id`` (responses copy their id from the
+        query, so the id must be exact even though nothing validates it
+        on the way back)."""
+        if not query.questions:
+            return Message.from_wire(query.to_wire())
+        question = query.questions[0]
+        key = (
+            question.name,
+            question.rdtype,
+            query.flags,
+            query.use_edns,
+            query.edns_payload_size,
+            query.dnssec_ok,
+        )
+        template = self._queries.get(key)
+        if template is None:
+            decoded = Message.from_wire(query.to_wire())
+            self._queries[key] = decoded
+            while len(self._queries) > self.capacity:
+                self._queries.popitem(last=False)
+            return decoded
+        self.query_hits += 1
+        clone = Message(query.msg_id)
+        clone.flags = template.flags
+        clone.rcode = template.rcode
+        clone.opcode = template.opcode
+        clone.use_edns = template.use_edns
+        clone.edns_payload_size = template.edns_payload_size
+        clone.dnssec_ok = template.dnssec_ok
+        clone.questions = list(template.questions)
+        return clone
 
 
 class AuthoritativeServer:
@@ -33,13 +384,44 @@ class AuthoritativeServer:
         tree: Optional[ZoneTree] = None,
         unsupported_rdtypes: Iterable[int] = (),
         drop_rrsigs: bool = False,
+        answer_cache: Optional[AnswerCache] = None,
     ):
         self.name = name
         self.tree = tree if tree is not None else ZoneTree()
-        self.unsupported_rdtypes: Set[int] = set(unsupported_rdtypes)
+        self.unsupported_rdtypes = set(unsupported_rdtypes)
         self.drop_rrsigs = drop_rrsigs
+        self.answer_cache = answer_cache
         self.query_log: List[tuple] = []
         self.log_queries = False
+
+    # Both quirks are folded into one precomputed hashable key so the
+    # per-query cache key build never re-freezes the rdtype set. The
+    # property setters keep it in sync with the world-build idiom of
+    # assigning quirks after construction.
+
+    @property
+    def unsupported_rdtypes(self) -> Set[int]:
+        return self._unsupported_rdtypes
+
+    @unsupported_rdtypes.setter
+    def unsupported_rdtypes(self, value: Iterable[int]) -> None:
+        self._unsupported_rdtypes = set(value)
+        self._refresh_quirk_key()
+
+    @property
+    def drop_rrsigs(self) -> bool:
+        return self._drop_rrsigs
+
+    @drop_rrsigs.setter
+    def drop_rrsigs(self, value: bool) -> None:
+        self._drop_rrsigs = bool(value)
+        self._refresh_quirk_key()
+
+    def _refresh_quirk_key(self) -> None:
+        self._quirk_key = (
+            frozenset(getattr(self, "_unsupported_rdtypes", ())),
+            getattr(self, "_drop_rrsigs", False),
+        )
 
     def add_zone(self, zone: Zone) -> None:
         self.tree.add_zone(zone)
@@ -47,8 +429,8 @@ class AuthoritativeServer:
     # -- query handling -----------------------------------------------------
 
     def handle_query(self, query: Message) -> Message:
-        response = query.make_response()
         if not query.questions:
+            response = query.make_response()
             response.rcode = rdtypes.FORMERR
             return response
         question = query.questions[0]
@@ -56,8 +438,43 @@ class AuthoritativeServer:
             self.query_log.append((question.name.to_text(), question.rdtype))
         zone = self.tree.zone_for(question.name)
         if zone is None:
+            response = query.make_response()
             response.rcode = rdtypes.REFUSED
             return response
+        cache = self.answer_cache
+        if cache is None or not cache.enabled:
+            return self._synthesize(query, zone, question)
+        # Zone identity is (uid, stamp): unique instance + its freshness
+        # stamp, so entries survive day/generation changes and can never
+        # alias a rebuilt zone. The quirk key joins because mixed-provider
+        # domains serve the same Zone object from servers with
+        # *different* quirk sets.
+        key = (
+            zone.uid,
+            zone.cache_stamp(),
+            self._quirk_key,
+            question.name,
+            question.rdtype,
+            query.dnssec_ok,
+        )
+        entry = cache.lookup(key, zone)
+        if entry is None:
+            response = self._synthesize(query, zone, question)
+            entry = cache.store(key, response, zone)
+        else:
+            response = query.make_response()
+            response.rcode = entry.rcode
+            response.authoritative = entry.authoritative
+            response.answers.extend(entry.answers)
+            response.authority.extend(entry.authority)
+            response.additional.extend(entry.additional)
+        response.answer_entry = entry  # tier-3 handle for Network
+        return response
+
+    def _synthesize(self, query: Message, zone: Zone, question) -> Message:
+        """The uncached answer-assembly path (the original handle_query
+        body past zone lookup): referral, quirk, and in-zone answers."""
+        response = query.make_response()
         response.authoritative = True
 
         # Provider-level lack of support for a record type: empty NOERROR.

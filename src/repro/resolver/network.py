@@ -19,6 +19,18 @@ transport error (packet loss / timeout). The hook sees the delivery
 ``attempt`` number so drop decisions can be pure functions of
 (seed, query, attempt) — the property that keeps serial and batched
 drivers value-equivalent.
+
+**Wire-byte fast path (tier 3).** In ``wire_mode``, when the world's
+:class:`~repro.resolver.authoritative.AnswerCache` is enabled, the
+server→client leg reuses what the tier-1 cache entry has already been
+through the codec once: the entry pins the encoded bytes and the decoded
+client-side message for one header signature, so a repeated answer skips
+the entire ``to_wire``/``from_wire`` pair (the resolver treats upstream
+responses as immutable, which is what makes the shared decoded template
+safe). The fast path is strictly behind ``dns_query_count`` accounting
+and the fault hook, so counters and faulted deliveries are identical
+with the cache on or off; the client→server leg always round-trips the
+query for codec fidelity.
 """
 
 from __future__ import annotations
@@ -72,6 +84,9 @@ class Network:
         self._unreachable_ips: Set[str] = set()
         self._unreachable_ports: Set[Tuple[str, int]] = set()
         self.dns_fault_hook: Optional[FaultHook] = None
+        # Shared with the world's AuthoritativeServers; installed by
+        # World._build. None for standalone Network instances in tests.
+        self.answer_cache = None
         self.dns_query_count = 0
         self.tcp_connect_count = 0
 
@@ -129,6 +144,14 @@ class Network:
                     return outcome
                 raise outcome
         if self.wire_mode:
+            cache = self.answer_cache
+            if cache is not None and cache.enabled:
+                query = cache.query_roundtrip(query)
+                response = server.handle_query(query)
+                entry = getattr(response, "answer_entry", None)
+                if entry is not None:
+                    return cache.wire_roundtrip(response, entry)
+                return Message.from_wire(response.to_wire())
             query = Message.from_wire(query.to_wire())
             response = server.handle_query(query)
             return Message.from_wire(response.to_wire())

@@ -45,7 +45,10 @@ class RunStats:
     answered. The fault-path counters (query timeouts, retries, and
     hosts found unreachable, summed over the world's recursive
     resolvers) surface what a chaos scenario — or organic simulated
-    misbehaviour — cost the clients. The pipeline sums per-worker stats
+    misbehaviour — cost the clients. The answer fast-path counters
+    report what the layered caches saved: rendered-answer hits/misses/
+    evictions (tier 1), wire-byte patch hits (tier 3), and zone builds
+    vs zone-body reuses (tier 2). The pipeline sums per-worker stats
     into the merged run summary; sequential runs record their single
     world's counters.
     """
@@ -59,6 +62,12 @@ class RunStats:
     timeouts: int = 0
     retries: int = 0
     unreachables: int = 0
+    answer_hits: int = 0
+    answer_misses: int = 0
+    answer_evictions: int = 0
+    wire_byte_hits: int = 0
+    zone_builds: int = 0
+    zone_body_reuses: int = 0
 
     def __add__(self, other: "RunStats") -> "RunStats":
         if not isinstance(other, RunStats):
@@ -84,6 +93,13 @@ class RunStats:
             stats.coalesced_queries = batch.coalesced_queries
             stats.attached_jobs = batch.attached_jobs
             stats.batch_memo_hits = batch.memo_hits
+        cache = world.answer_cache
+        stats.answer_hits = cache.hits
+        stats.answer_misses = cache.misses
+        stats.answer_evictions = cache.evictions
+        stats.wire_byte_hits = cache.wire_hits
+        stats.zone_builds = world.zone_builds
+        stats.zone_body_reuses = world.zone_body_reuses
         return stats
 
     def summary(self) -> str:
@@ -102,6 +118,18 @@ class RunStats:
                 f" timeouts={self.timeouts}"
                 f" retries={self.retries}"
                 f" unreachables={self.unreachables}"
+            )
+        if self.answer_hits or self.answer_misses:
+            text += (
+                f" answer_hits={self.answer_hits}"
+                f" answer_misses={self.answer_misses}"
+                f" answer_evictions={self.answer_evictions}"
+                f" wire_byte_hits={self.wire_byte_hits}"
+            )
+        if self.zone_body_reuses:
+            text += (
+                f" zone_builds={self.zone_builds}"
+                f" zone_body_reuses={self.zone_body_reuses}"
             )
         return text
 
@@ -202,6 +230,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
     batch: bool = False,
     scenario: Optional[FaultSchedule] = None,
+    answer_cache: bool = True,
 ) -> Dataset:
     """Run the full measurement campaign and return the dataset."""
     schedule = build_schedule(
@@ -212,7 +241,10 @@ def run_campaign(
         with_ech_hourly=with_ech_hourly,
         with_dnssec_snapshot=with_dnssec_snapshot,
     )
-    return run_scheduled(world, schedule, progress=progress, batch=batch, scenario=scenario)
+    return run_scheduled(
+        world, schedule, progress=progress, batch=batch, scenario=scenario,
+        answer_cache=answer_cache,
+    )
 
 
 def run_scheduled(
@@ -224,6 +256,7 @@ def run_scheduled(
     batch: bool = False,
     seen_https: Optional[AbstractSet[str]] = None,
     scenario: Optional[FaultSchedule] = None,
+    answer_cache: bool = True,
 ) -> Dataset:
     """Execute *schedule* against *world*, optionally restricted to a
     name-slice.
@@ -246,6 +279,10 @@ def run_scheduled(
     the world for the duration of the run (cleared on exit, so shared
     registry worlds go back pristine); observations are value-equal
     across serial/batched/sharded execution of the same scenario.
+    ``answer_cache`` arms the world's layered answer fast path for the
+    duration of the run (disarmed on exit, like the scenario) — the
+    dataset, per-server query logs, and transport counters are identical
+    either way; only the walltime and the fast-path counters change.
     """
     config = world.config
     engine = ScanEngine(world)
@@ -259,6 +296,8 @@ def run_scheduled(
     chaos = scenario is not None and bool(scenario)
     if chaos:
         world.install_faults(scenario)
+    if answer_cache:
+        world.set_answer_cache(True)
     try:
         for date in schedule.scan_days:
             world.set_time(date)
@@ -288,6 +327,10 @@ def run_scheduled(
 
         dataset.run_stats = RunStats.of_world(world)
     finally:
+        if answer_cache:
+            # Counters survive disarming (of_world already read them);
+            # pooled worlds must check back in with the fast path off.
+            world.set_answer_cache(False)
         if chaos:
             world.clear_faults()
     return dataset

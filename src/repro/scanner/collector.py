@@ -328,6 +328,7 @@ class ContinuousCollector:
         executor: str = "process",
         keep_alive: bool = False,
         scenario: Optional[FaultSchedule] = None,
+        answer_cache: bool = True,
     ):
         if days_per_increment < 1:
             raise ValueError("need at least one scan day per increment")
@@ -362,6 +363,7 @@ class ContinuousCollector:
             schedule=self.schedule,
             keep_alive=True,
             scenario=scenario,
+            answer_cache=answer_cache,
         )
         self.store = CheckpointStore(checkpoint_dir, self._meta())
         self.total_increments = len(self.slices) * self.workers
@@ -369,8 +371,9 @@ class ContinuousCollector:
     def _meta(self) -> Dict:
         """The checkpoint identity header: everything that must match for
         a resume to be sound. Equality-preserving knobs (batch, snapshot
-        dir, executor) deliberately stay out — they may change between
-        sessions without invalidating completed increments."""
+        dir, executor, answer_cache) deliberately stay out — they may
+        change between sessions without invalidating completed
+        increments."""
         return {
             "magic": _MAGIC,
             "version": CHECKPOINT_VERSION,

@@ -126,6 +126,7 @@ def _scan_shard(
     batch: bool = False, snapshot_dir: Optional[str] = None,
     seen_https: FrozenSet[str] = frozenset(),
     scenario: Optional[FaultSchedule] = None,
+    answer_cache: bool = True,
 ) -> Dataset:
     """Stage 1: run the daily-scan schedule over one domain shard.
 
@@ -143,7 +144,7 @@ def _scan_shard(
         quiet = dataclasses.replace(schedule, ech_days=())
         return run_scheduled(
             world, quiet, names=names, scan_nameservers=False, batch=batch,
-            seen_https=seen_https, scenario=scenario,
+            seen_https=seen_https, scenario=scenario, answer_cache=answer_cache,
         )
     finally:
         checkin_world(world)
@@ -155,11 +156,14 @@ def _scan_ns_shard(
     batch: bool = False,
     snapshot_dir: Optional[str] = None,
     scenario: Optional[FaultSchedule] = None,
+    answer_cache: bool = True,
 ) -> Tuple[List[Tuple[datetime.date, str, NameServerObservation]], RunStats]:
     """Post-merge NS stage: resolve + WHOIS-attribute name servers."""
     world = checkout_world(config, snapshot_dir)
     try:
         world.install_faults(scenario)
+        # checkin_world resets the world, which disarms the fast path.
+        world.set_answer_cache(answer_cache)
         engine = ScanEngine(world)
         results: List[Tuple[datetime.date, str, NameServerObservation]] = []
         for date, hostnames in sorted(day_hostnames):
@@ -179,11 +183,14 @@ def _scan_ech_shard(
     batch: bool = False,
     snapshot_dir: Optional[str] = None,
     scenario: Optional[FaultSchedule] = None,
+    answer_cache: bool = True,
 ) -> Tuple[List[EchObservation], RunStats]:
     """Stage 2: hourly ECH rescans for this shard's targets per day."""
     world = checkout_world(config, snapshot_dir)
     try:
         world.install_faults(scenario)
+        # checkin_world resets the world, which disarms the fast path.
+        world.set_answer_cache(answer_cache)
         engine = ScanEngine(world)
         observations: List[EchObservation] = []
         for date, targets in sorted(day_targets):
@@ -305,6 +312,7 @@ class ParallelCampaignRunner:
         schedule: Optional[CampaignSchedule] = None,
         keep_alive: bool = False,
         scenario: Optional[FaultSchedule] = None,
+        answer_cache: bool = True,
     ):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor {executor!r}")
@@ -315,6 +323,7 @@ class ParallelCampaignRunner:
         self.snapshot_dir = snapshot_dir
         self.keep_alive = bool(keep_alive)
         self.scenario = scenario
+        self.answer_cache = bool(answer_cache)
         self.schedule = schedule if schedule is not None else build_schedule(
             day_step=day_step,
             start=start,
@@ -359,6 +368,7 @@ class ParallelCampaignRunner:
                     dataset = run_scheduled(
                         world, schedule, progress=progress, batch=self.batch,
                         seen_https=seen_https, scenario=self.scenario,
+                        answer_cache=self.answer_cache,
                     )
                 finally:
                     checkin_world(world)
@@ -368,7 +378,7 @@ class ParallelCampaignRunner:
                 dataset = run_scheduled(
                     World(self.config), schedule,
                     progress=progress, batch=self.batch, seen_https=seen_https,
-                    scenario=self.scenario,
+                    scenario=self.scenario, answer_cache=self.answer_cache,
                 )
             self.run_stats = dataset.run_stats
             return dataset
@@ -380,6 +390,7 @@ class ParallelCampaignRunner:
                     (
                         self.config, schedule, self.workers, index,
                         self.batch, self.snapshot_dir, seen_https, self.scenario,
+                        self.answer_cache,
                     ),
                 )
                 for index in range(self.workers)
@@ -439,6 +450,7 @@ class ParallelCampaignRunner:
             index: (
                 self.config, schedule, self.workers, index,
                 self.batch, self.snapshot_dir, seen, self.scenario,
+                self.answer_cache,
             )
             for index in indices
         }
@@ -540,7 +552,10 @@ class ParallelCampaignRunner:
             tasks.append(
                 (
                     _scan_ns_shard,
-                    (self.config, frozen, self.batch, self.snapshot_dir, self.scenario),
+                    (
+                        self.config, frozen, self.batch, self.snapshot_dir,
+                        self.scenario, self.answer_cache,
+                    ),
                 )
             )
         if not tasks:
@@ -583,7 +598,10 @@ class ParallelCampaignRunner:
             tasks.append(
                 (
                     _scan_ech_shard,
-                    (self.config, frozen, self.batch, self.snapshot_dir, self.scenario),
+                    (
+                        self.config, frozen, self.batch, self.snapshot_dir,
+                        self.scenario, self.answer_cache,
+                    ),
                 )
             )
         if not tasks:

@@ -441,3 +441,38 @@ def dnssec_active(profile: DomainProfile, config: SimConfig, date: datetime.date
     if profile.dnssec_sign_day < 0:
         return True
     return timeline.day_index(date) >= profile.dnssec_sign_day
+
+
+def zone_body_fingerprint(
+    profile: DomainProfile,
+    config: SimConfig,
+    date: datetime.date,
+    ech_wire: Optional[bytes],
+) -> tuple:
+    """Every date-dependent input of :func:`build_zone` *except* the SOA
+    serial and the RRSIG inception time.
+
+    Two dates with equal fingerprints produce zones whose bodies differ
+    only in SOA serial and signature timestamps, so the world's tier-2
+    zone-body reuse (:meth:`~repro.simnet.world.World.zone_of`) can roll
+    the serial and re-sign instead of rebuilding from scratch. Static
+    profile attributes (shapes, cohorts, seeds) need no entry: the
+    fingerprint only ever compares one profile against itself. The ECH
+    wire bytes join the fingerprint only when either the apex or the www
+    record would actually carry them — an hourly key rotation must not
+    invalidate a zone that never published ECH.
+    """
+    ech_apex = ech_enabled(profile, config, date, is_www=False)
+    ech_www = ech_enabled(profile, config, date, is_www=True)
+    return (
+        tuple(current_provider_keys(profile, config, date)),
+        serving_addresses(profile, config, date),
+        https_configured(profile, config, date),
+        proxied_active(profile, config, date),
+        ech_apex,
+        ech_www,
+        date < timeline.H3_29_RETIREMENT,
+        date >= timeline.GOOGLE_QUIC_APPEARANCE,
+        dnssec_active(profile, config, date),
+        ech_wire if (ech_apex or ech_www) else None,
+    )

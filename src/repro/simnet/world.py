@@ -9,6 +9,20 @@ framework interrogated the real Internet.
 Time moves forward only: call :meth:`World.set_time` with increasing
 (date, hour); zone contents, ECH keys, Tranco membership, and signatures
 all follow the clock.
+
+**Answer fast path.** The world owns the shared
+:class:`~repro.resolver.authoritative.AnswerCache` (tier 1: rendered
+answers; tier 3: wire bytes — see :mod:`repro.resolver.authoritative`)
+and the tier-2 zone-body store (:meth:`World.zone_of`): when a domain's
+:func:`~repro.simnet.domains.zone_body_fingerprint` is unchanged since
+the zone was last built, the built body is reused and only the SOA
+serial is rolled (plus a re-sign on date change) instead of rebuilding
+from scratch. All tiers arm together via :meth:`World.set_answer_cache`
+and default off, so a bare ``World()`` behaves exactly as before.
+Invalidation is paired with the per-day zone cache: every site that
+clears ``_zone_cache`` (day/ECH-generation rollover in ``set_time``,
+``install_faults``/``clear_faults``, ``reset``) also invalidates the
+answer cache — codelint rule ``INV01`` enforces the pairing.
 """
 
 from __future__ import annotations
@@ -27,7 +41,7 @@ from ..dnssec.keys import ZoneKeySet
 from ..dnssec.signing import sign_rrset
 from ..dnssec.validation import ChainValidator
 from ..ech.keys import ECHKeyManager
-from ..resolver.authoritative import AuthoritativeServer
+from ..resolver.authoritative import AnswerCache, AuthoritativeServer
 from ..resolver.clock import SimClock
 from ..resolver.network import Network
 from ..resolver.recursive import RecursiveResolver
@@ -78,6 +92,41 @@ class DynamicTldZone(Zone):
         super().__init__(apex, default_ttl=300)
         self.world = world
         self._ds_cache: "OrderedDict[Tuple[Name, int], Tuple[Optional[RRset], List[RRSIGRdata]]]" = OrderedDict()
+
+    # -- answer-cache freshness ----------------------------------------------
+    #
+    # Unlike a plain zone, delegation/DS/glue answers here are synthesized
+    # from world state that moves with the simulation date (provider
+    # switches, DNSSEC adoption windows, per-date fault activation), so a
+    # cached rendering carries a guard instead of relying on `version`
+    # alone. DS answers re-sign with a per-day inception and are scoped
+    # to their day outright; everything else pins the delegation facts it
+    # was rendered from and revalidates them on the first hit of each new
+    # day (a cheap token compare against a full synthesis + wire pass).
+
+    def answer_guard(self, name: Name, rdtype: int):
+        day = timeline.day_index(self.world.current_date)
+        if rdtype == rdtypes.DS:
+            return ["day", day]
+        return ["tld", day, self._referral_token(name)]
+
+    def validate_guard(self, guard, name: Name, rdtype: int) -> bool:
+        day = timeline.day_index(self.world.current_date)
+        if guard[1] == day:
+            return True
+        if guard[0] == "day":
+            return False
+        if guard[2] == self._referral_token(name):
+            guard[1] = day  # facts unchanged: free hits for the rest of today
+            return True
+        return False
+
+    def _referral_token(self, name: Name):
+        """The delegation facts a non-DS answer for *name* depends on."""
+        child = self._child_apex(name)
+        if child is None:
+            return None
+        return (child, tuple(self._delegation_ns_names(child)))
 
     # -- dynamic lookups -----------------------------------------------------
 
@@ -271,6 +320,16 @@ class World:
         self._zone_cache_stamp: Tuple[datetime.date, int] = (self.current_date, 0)
         self._fault_injector: Optional[faults.FaultInjector] = None
 
+        # Layered answer fast path: one cache shared by every
+        # authoritative server and the network's wire path; starts
+        # disarmed (set_answer_cache arms it). Tier-2 zone-body reuse
+        # state lives beside it.
+        self.answer_cache = AnswerCache()
+        self.network.answer_cache = self.answer_cache
+        self._zone_bodies: Dict[int, Tuple[tuple, Zone]] = {}
+        self.zone_builds = 0
+        self.zone_body_reuses = 0
+
         self._build_infrastructure()
         self._build_resolvers()
 
@@ -297,6 +356,13 @@ class World:
         self.clock.rewind(timeline.epoch_seconds(timeline.STUDY_START))
         self._zone_cache.clear()
         self._zone_cache_stamp = (self.current_date, 0)
+        # Back to the just-built state: disarmed, empty, counters zeroed
+        # — a checked-in pooled world (or a snapshot about to be
+        # pickled) must not leak armed or stale fast-path state.
+        self.answer_cache.reset()
+        self._zone_bodies.clear()
+        self.zone_builds = 0
+        self.zone_body_reuses = 0
         for resolver in (self.google_resolver, self.cloudflare_resolver):
             resolver.reset()
         # Drop the batch scheduler (it holds per-run coalescing counters)
@@ -395,11 +461,11 @@ class World:
         self.root_zone = root
 
         # Servers.
-        root_server = AuthoritativeServer("root")
+        root_server = AuthoritativeServer("root", answer_cache=self.answer_cache)
         root_server.tree.add_zone(root)
         self.network.register_dns(ipspace.ROOT_SERVER_IP, root_server)
 
-        tld_server = AuthoritativeServer("tld")
+        tld_server = AuthoritativeServer("tld", answer_cache=self.answer_cache)
         tld_server.tree = _TldTree(self)
         self.network.register_dns(ipspace.TLD_SERVER_IP, tld_server)
 
@@ -407,7 +473,7 @@ class World:
         for provider in PROVIDERS.values():
             if not provider.server_ip:
                 continue
-            server = AuthoritativeServer(provider.key)
+            server = AuthoritativeServer(provider.key, answer_cache=self.answer_cache)
             server.tree = _ProviderTree(self, provider)
             server.tree.infra_zone = self._infra_zones.get(
                 Name.from_text(provider.ns_domain + ".") if provider.ns_domain else None
@@ -420,7 +486,9 @@ class World:
         # Self-hosted domains run their own authoritative servers.
         for profile in self.profiles:
             if profile.provider_key == "selfhosted":
-                server = AuthoritativeServer(f"selfhosted:{profile.name}")
+                server = AuthoritativeServer(
+                    f"selfhosted:{profile.name}", answer_cache=self.answer_cache
+                )
                 server.tree = _ProviderTree(self, PROVIDERS["selfhosted"])
                 ns_ip = ipspace.origin_v4(self.config.seed, profile.name, generation=7)
                 self.network.register_dns(ns_ip, server)
@@ -465,7 +533,16 @@ class World:
         generation = self.ech_manager.generation_for_hour(self.absolute_hour())
         stamp = (date, generation)
         if stamp != self._zone_cache_stamp:
-            self._zone_cache.clear()
+            # The answer cache deliberately survives this flush: its keys
+            # and per-entry guards already encode everything a stamp
+            # change can alter. A zone rebuilt after the flush gets a
+            # fresh uid (old entries can never alias it), a body-reused
+            # zone keeps uid+version with SOA-bearing entries
+            # serial-guarded, and DynamicTldZone entries revalidate
+            # their delegation facts across day boundaries. Cross-day
+            # survival of the surviving entries is the fast path's main
+            # win (most of a campaign's questions repeat across days).
+            self._zone_cache.clear()  # codelint: disable=INV01
             self._zone_cache_stamp = stamp
         if self._fault_injector is not None:
             self._fault_injector.on_time(date, hour)
@@ -490,6 +567,7 @@ class World:
         self._fault_injector = faults.FaultInjector(self, schedule)
         self._fault_injector.arm()
         self._zone_cache.clear()
+        self.answer_cache.invalidate()
 
     def clear_faults(self) -> None:
         if self._fault_injector is None:
@@ -497,9 +575,24 @@ class World:
         self._fault_injector.disarm()
         self._fault_injector = None
         self._zone_cache.clear()
+        self.answer_cache.invalidate()
 
     def absolute_hour(self) -> int:
         return timeline.day_index(self.current_date) * 24 + int(self.current_hour)
+
+    # ------------------------------------------------------------------
+    # answer fast path
+    # ------------------------------------------------------------------
+
+    def set_answer_cache(self, enabled: bool) -> None:
+        """Arm (or disarm) the layered answer fast path — all tiers.
+
+        Campaign drivers arm it for the duration of a run and disarm in
+        their cleanup path; counters survive disarming so
+        ``RunStats.of_world`` can report them after the run."""
+        self.answer_cache.set_enabled(enabled)
+        if not enabled:
+            self._zone_bodies.clear()
 
     # ------------------------------------------------------------------
     # registry lookups
@@ -563,7 +656,15 @@ class World:
     # ------------------------------------------------------------------
 
     def zone_of(self, profile: DomainProfile) -> Zone:
-        """Build (or fetch from the per-day cache) the domain's zone."""
+        """Build (or fetch from the per-day cache) the domain's zone.
+
+        Tier-2 zone-body reuse: when the fast path is armed and the
+        domain's :func:`~repro.simnet.domains.zone_body_fingerprint` is
+        unchanged since the zone was last built, the stored body is
+        advanced to today (SOA serial roll + re-sign on date change;
+        nothing at all within the same day) instead of rebuilding.
+        Faulted builds (a live zone overlay) are never stored or reused
+        — their content is not a pure function of the fingerprint."""
         zone = self._zone_cache.get(profile.index)
         if zone is None:
             ech_wire = self.ech_manager.published_wire(self.absolute_hour())
@@ -573,16 +674,36 @@ class World:
                 ech_wire = self._fault_injector.ech_wire_for(
                     profile, self.current_date, ech_wire, self.absolute_hour()
                 )
+            reusable = overlay is None and self.answer_cache.enabled
+            fingerprint: Optional[tuple] = None
+            if reusable:
+                fingerprint = domains.zone_body_fingerprint(
+                    profile, self.config, self.current_date, ech_wire
+                )
+                stored = self._zone_bodies.get(profile.index)
+                if stored is not None and stored[0] == fingerprint:
+                    zone = stored[1]
+                    serial = timeline.day_index(self.current_date) + 1
+                    if zone.soa is not None and zone.soa[0].serial != serial:
+                        zone.roll_soa_serial(serial)
+                        if zone.signed:
+                            zone.sign(timeline.epoch_seconds(self.current_date) - 3600)
+                    self.zone_body_reuses += 1
+                    self._zone_cache[profile.index] = zone
+                    return zone
             zone = domains.build_zone(
                 profile, self.config, self.current_date, ech_wire, self.current_hour,
                 overlay=overlay,
             )
+            self.zone_builds += 1
             if self._infra_provider.get(profile.apex) is not None:
                 # Domain doubles as an NS suffix (cf-ns.com): host the
                 # provider's NS-host A records inside the domain zone.
                 provider = self._infra_provider[profile.apex]
                 for host in provider.all_ns_hostnames():
                     zone.add_rrset(RRset(host, rdtypes.A, 300, [ARdata(provider.server_ip)]))
+            if reusable:
+                self._zone_bodies[profile.index] = (fingerprint, zone)
             self._zone_cache[profile.index] = zone
         return zone
 

@@ -217,7 +217,10 @@ class ExecutionPlan:
     an on-disk checkpoint. The finished dataset is value-equal under
     every combination (the headline guarantees of PRs 1-4); only the
     continuous partitioning joins the cache key, so checkpoints never
-    alias one-shot cache entries.
+    alias one-shot cache entries. ``answer_cache`` arms the worlds'
+    layered answer fast path (rendered answers, zone-body reuse, wire
+    bytes — default on); like the other knobs it never changes the
+    dataset, so it stays out of ``StudySpec.cache_tag()``.
     """
 
     workers: int = 1
@@ -236,6 +239,7 @@ class ExecutionPlan:
     days_per_increment: int = 7
     max_increments: Optional[int] = None
     release_dir: str = "releases"
+    answer_cache: bool = True
 
     def __post_init__(self):
         # Clamp like the runner/collector always have (workers=0 ran
@@ -273,8 +277,9 @@ class ExecutionPlan:
 
         Reads ``REPRO_WORKERS``, ``REPRO_BATCH``, ``REPRO_SNAPSHOT``
         (world snapshots under ``<cache_dir>/worlds``),
-        ``REPRO_CONTINUOUS``, and ``REPRO_GC``; explicit *overrides*
-        win over the environment.
+        ``REPRO_CONTINUOUS``, ``REPRO_ANSWER_CACHE`` (default on —
+        unlike the other flags, absence keeps the cache armed), and
+        ``REPRO_GC``; explicit *overrides* win over the environment.
         """
         env = os.environ if environ is None else environ
         kwargs: Dict[str, object] = {}
@@ -283,6 +288,9 @@ class ExecutionPlan:
             kwargs["workers"] = int(workers)
         kwargs["batch"] = _env_flag(env, "REPRO_BATCH")
         kwargs["continuous"] = _env_flag(env, "REPRO_CONTINUOUS")
+        kwargs["answer_cache"] = (
+            str(env.get("REPRO_ANSWER_CACHE", "1")).lower() in ("1", "true", "yes", "on")
+        )
         gc_policy = env.get("REPRO_GC")
         if gc_policy:
             kwargs["gc_policy"] = gc_policy
@@ -561,6 +569,7 @@ class Study:
                 schedule=self.schedule,
                 keep_alive=True,
                 scenario=self.spec.scenario,
+                answer_cache=self.plan.answer_cache,
             )
         return self._runner
 
@@ -577,6 +586,7 @@ class Study:
                 executor=self.plan.executor,
                 keep_alive=True,
                 scenario=self.spec.scenario,
+                answer_cache=self.plan.answer_cache,
                 **self.spec.schedule_overrides(),
             )
         return self._collector

@@ -9,6 +9,7 @@ integrates with :mod:`repro.dnssec` for signing.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..dnscore import rdtypes
@@ -28,6 +29,10 @@ class ZoneError(ValueError):
 class Zone:
     """A single DNS zone."""
 
+    # Process-wide instance counter (itertools.count is atomic under the
+    # GIL, so thread-pooled worlds can build zones concurrently).
+    _uid_counter = itertools.count()
+
     def __init__(
         self,
         apex: Name,
@@ -39,6 +44,14 @@ class Zone:
         self.apex = apex
         self.allow_apex_cname = allow_apex_cname
         self.default_ttl = default_ttl
+        # (uid, version) is the zone-identity half of the rendered-answer
+        # cache key: uid is unique per live instance (never reused within
+        # a process — see __setstate__), and version is a monotonic
+        # content stamp bumped by every mutator, so a cache can never
+        # serve a reply assembled from an older body of this zone or
+        # from a different zone that replaced it at the same apex.
+        self.uid = next(Zone._uid_counter)
+        self.version = 0
         self._records: Dict[Tuple[Name, int], RRset] = {}
         self._rrsigs: Dict[Tuple[Name, int], List[RRSIGRdata]] = {}
         # Child apexes delegated out of this zone (NS RRsets live in
@@ -46,6 +59,34 @@ class Zone:
         self._delegations: set = set()
         self.keyset: Optional[ZoneKeySet] = None
         self.signed = False
+
+    def cache_stamp(self):
+        """Freshness half of the rendered-answer cache key. For a plain
+        zone the monotonic ``version`` suffices: content only changes
+        through mutators, and every mutator bumps it."""
+        return self.version
+
+    def answer_guard(self, name: Name, rdtype: int):
+        """Extra per-answer freshness token stored with a cached answer
+        (None = valid while (uid, cache_stamp) match). Zones that
+        synthesize answers from live world state at query time override
+        this together with ``validate_guard`` (see ``DynamicTldZone``)."""
+        return None
+
+    def validate_guard(self, guard, name: Name, rdtype: int) -> bool:
+        return True
+
+    def __getstate__(self):
+        return self.__dict__.copy()
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # A pickled uid is only unique within the process that assigned
+        # it. A snapshot-loaded zone coexisting with freshly-built zones
+        # must not alias one of their uids, so unpickling always draws a
+        # new one (answer-cache entries are never pickled, so no live
+        # key references the discarded uid).
+        self.uid = next(Zone._uid_counter)
 
     # -- content management --------------------------------------------------
 
@@ -78,6 +119,7 @@ class Zone:
         else:
             for rdata in rrset:
                 existing.add(rdata)
+        self.version += 1
 
     def add_record(self, name, rdtype_text: str, rdata_text: str, ttl: Optional[int] = None) -> None:
         """Zone-file-style convenience: ``add_record("a.com", "HTTPS", "1 . alpn=h2")``."""
@@ -102,10 +144,12 @@ class Zone:
         )
         self._records[(child_apex, rdtypes.NS)] = rrset
         self._delegations.add(child_apex)
+        self.version += 1
 
     def remove_rrset(self, name: Name, rdtype: int) -> None:
         self._records.pop((name, rdtype), None)
         self._rrsigs.pop((name, rdtype), None)
+        self.version += 1
 
     # -- lookup -----------------------------------------------------------------
 
@@ -138,6 +182,13 @@ class Zone:
     def soa(self) -> Optional[RRset]:
         return self._records.get((self.apex, rdtypes.SOA))
 
+    @property
+    def soa_serial(self) -> Optional[int]:
+        """Current SOA serial — the freshness stamp SOA-bearing cached
+        answers are validated against (see ``roll_soa_serial``)."""
+        soa = self._records.get((self.apex, rdtypes.SOA))
+        return soa[0].serial if soa is not None else None
+
     def ensure_soa(self, primary_ns: Optional[Name] = None, serial: int = 1) -> None:
         if self.soa is not None:
             return
@@ -150,6 +201,46 @@ class Zone:
             [SOARdata(mname, rname, serial)],
         )
         self._records[(self.apex, rdtypes.SOA)] = rrset
+        self.version += 1
+
+    def roll_soa_serial(self, serial: int) -> None:
+        """Replace the SOA RRset with one carrying *serial*.
+
+        A fresh RRset (not an in-place rdata edit) so responses already
+        referencing the old SOA keep the serial they were answered with —
+        exactly the aliasing a from-scratch rebuild would produce. Used
+        by the world's zone-body reuse path to advance an otherwise
+        unchanged zone to a new day.
+
+        Deliberately does NOT bump ``version``: every non-SOA answer this
+        zone can give is unchanged by the roll, so rendered-answer cache
+        entries keyed on (uid, version) stay valid across days — that
+        cross-day survival is the fast path's main win. The answers the
+        roll DOES change (anything carrying the SOA: NXDOMAIN, NODATA,
+        apex SOA queries) are guarded individually: the cache stamps
+        SOA-bearing entries with the serial they were rendered under and
+        re-validates it on every hit (see ``AuthoritativeServer``).
+        Signed zones re-sign after the roll, and ``sign`` bumps
+        ``version``, so their entries all turn over anyway.
+        """
+        soa = self.soa
+        if soa is None:
+            raise ZoneError(f"zone {self.apex} has no SOA to roll")
+        old = soa[0]
+        rrset = RRset(
+            self.apex,
+            rdtypes.SOA,
+            soa.ttl,
+            [
+                SOARdata(
+                    old.mname, old.rname, serial,
+                    refresh=old.refresh, retry=old.retry,
+                    expire=old.expire, minimum=old.minimum,
+                )
+            ],
+        )
+        self._records[(self.apex, rdtypes.SOA)] = rrset
+        self._rrsigs.pop((self.apex, rdtypes.SOA), None)
 
     # -- signing ------------------------------------------------------------------
 
@@ -183,6 +274,7 @@ class Zone:
             rrsig = sign_rrset(rrset, self.apex, key, now, expiration, memo=memo)
             self._rrsigs.setdefault((name, rdtype), []).append(rrsig)
         self.signed = True
+        self.version += 1
 
     def corrupt_signature(self, name: Name, rdtype: int) -> None:
         """Flip a bit in a signature — used to model bogus chains."""
@@ -192,6 +284,7 @@ class Zone:
         sig = sigs[0]
         sig.signature = bytes([sig.signature[0] ^ 0x01]) + sig.signature[1:]
         sig.invalidate_wire_cache()
+        self.version += 1
 
     def ds_rdatas(self) -> List:
         """DS records the parent should publish for this zone (KSK only)."""

@@ -1,0 +1,356 @@
+"""The layered answer fast path (rendered-answer + zone-body +
+wire-byte caches) — PR 9.
+
+The headline guarantee: arming the cache changes walltime and the
+fast-path counters, *nothing else*. Every suite here pins one face of
+that claim — dataset value-equality against a cache-off run under
+serial, batched, wire-mode, sharded, continuous kill+resume, and chaos
+execution; per-server ``query_log`` / ``dns_query_count`` identity (the
+cache sits behind logging and the fault hook); lifecycle hygiene
+(``World.reset()`` and campaign cleanup leave no armed or stale state
+behind); the LRU eviction bound; and cache identity (the execution knob
+must never reach ``StudySpec.cache_tag()``).
+"""
+
+import datetime
+import os
+
+import pytest
+
+from repro.resolver.authoritative import AnswerCache
+from repro.scanner import (
+    CollectionInterrupted,
+    ContinuousCollector,
+    ParallelCampaignRunner,
+    run_campaign,
+)
+from repro.simnet import SimConfig, World, timeline
+from repro.simnet import domains
+from repro.simnet.faults import FaultSchedule
+from repro.study import ExecutionPlan, Study, StudySpec
+
+CONFIG = SimConfig(population=120)
+WIRE_CONFIG = SimConfig(population=120, wire_mode=True)
+SCENARIO_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "chaos_scenario.json"
+)
+
+# The ECH window: hourly scans repeat the same questions within a day,
+# so every tier (rendered answers, zone-body reuse, wire bytes) gets
+# real traffic even at test scale.
+ECH_KWARGS = dict(
+    day_step=7,
+    start=datetime.date(2023, 7, 14),
+    end=datetime.date(2023, 7, 31),
+    ech_sample=5,
+)
+
+
+def arm_query_logs(world):
+    """Enable per-server query logging; ip → that server's live log."""
+    logs = {}
+    for ip, server in sorted(world.network._dns_servers.items()):
+        if hasattr(server, "query_log"):
+            server.log_queries = True
+            logs[ip] = server.query_log
+    return logs
+
+
+def query_counts(world):
+    return {
+        ip: server.dns_query_count
+        for ip, server in sorted(world.network._dns_servers.items())
+        if hasattr(server, "dns_query_count")
+    }
+
+
+def run_logged(config, answer_cache, **kwargs):
+    world = World(config)
+    logs = arm_query_logs(world)
+    dataset = run_campaign(world, answer_cache=answer_cache, **kwargs)
+    return dataset, logs, world
+
+
+class TestSerialEquivalence:
+    """Cache-on and cache-off runs are indistinguishable in the data."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        off = run_logged(CONFIG, False, **ECH_KWARGS)
+        on = run_logged(CONFIG, True, **ECH_KWARGS)
+        return off, on
+
+    def test_datasets_value_equal(self, pair):
+        (ds_off, _, _), (ds_on, _, _) = pair
+        assert ds_on == ds_off
+
+    def test_per_server_query_logs_identical(self, pair):
+        (_, logs_off, _), (_, logs_on, _) = pair
+        assert sorted(logs_on) == sorted(logs_off)
+        for ip in logs_on:
+            assert logs_on[ip] == logs_off[ip], f"query_log diverged on {ip}"
+
+    def test_per_server_query_counts_identical(self, pair):
+        (_, _, world_off), (_, _, world_on) = pair
+        assert query_counts(world_on) == query_counts(world_off)
+
+    def test_counters_report_the_fast_path(self, pair):
+        (ds_off, _, _), (ds_on, _, _) = pair
+        assert ds_on.run_stats.answer_hits > 0
+        assert ds_on.run_stats.zone_body_reuses > 0
+        assert ds_off.run_stats.answer_hits == 0
+        assert ds_off.run_stats.answer_misses == 0
+        assert ds_off.run_stats.zone_body_reuses == 0
+        # counters are diagnostics, not data: equality above already
+        # held even though these differ
+
+    def test_campaign_cleanup_disarms_the_world(self, pair):
+        (_, _, _), (_, _, world_on) = pair
+        assert world_on.answer_cache.enabled is False
+        assert len(world_on.answer_cache) == 0
+        assert world_on._zone_bodies == {}
+
+
+class TestWireModeEquivalence:
+    """Tier 3: the byte-patch round trip serves the same messages."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        off = run_logged(WIRE_CONFIG, False, batch=True, **ECH_KWARGS)
+        on = run_logged(WIRE_CONFIG, True, batch=True, **ECH_KWARGS)
+        return off, on
+
+    def test_datasets_value_equal(self, pair):
+        (ds_off, _, _), (ds_on, _, _) = pair
+        assert ds_on == ds_off
+
+    def test_query_logs_identical(self, pair):
+        (_, logs_off, _), (_, logs_on, _) = pair
+        assert logs_on == logs_off
+
+    def test_wire_bytes_actually_reused(self, pair):
+        _, (ds_on, _, _) = pair
+        assert ds_on.run_stats.wire_byte_hits > 0
+
+    def test_wire_mode_equals_object_mode(self, pair):
+        """Cross-check against the non-wire cached run: the codec plus
+        both byte-level caches still change nothing."""
+        _, (ds_on, _, _) = pair
+        plain = run_campaign(World(CONFIG), answer_cache=True, batch=True, **ECH_KWARGS)
+        assert ds_on == plain
+
+
+class TestExecutionModeEquivalence:
+    """The cache composes with every execution shape."""
+
+    @pytest.fixture(scope="class")
+    def serial_off(self):
+        return run_campaign(World(CONFIG), answer_cache=False, **ECH_KWARGS)
+
+    def test_batched(self, serial_off):
+        assert run_campaign(
+            World(CONFIG), answer_cache=True, batch=True, **ECH_KWARGS
+        ) == serial_off
+
+    def test_sharded(self, serial_off):
+        parallel = ParallelCampaignRunner(
+            CONFIG, workers=3, executor="thread", answer_cache=True, **ECH_KWARGS
+        ).run()
+        assert parallel == serial_off
+        assert parallel.run_stats.answer_hits > 0
+
+    def test_sharded_cache_off_still_equal(self, serial_off):
+        parallel = ParallelCampaignRunner(
+            CONFIG, workers=2, executor="thread", answer_cache=False, **ECH_KWARGS
+        ).run()
+        assert parallel == serial_off
+        assert parallel.run_stats.answer_hits == 0
+
+    def test_continuous_kill_and_resume(self, serial_off, tmp_path):
+        collector = ContinuousCollector(
+            CONFIG, str(tmp_path / "ckpt"), workers=2, days_per_increment=2,
+            executor="thread", answer_cache=True, **ECH_KWARGS
+        )
+        with pytest.raises(CollectionInterrupted):
+            collector.collect(max_increments=1)
+        resumed = ContinuousCollector(
+            CONFIG, str(tmp_path / "ckpt"), workers=2, days_per_increment=2,
+            executor="thread", answer_cache=True, **ECH_KWARGS
+        ).collect()
+        assert resumed == serial_off
+
+    def test_chaos_scenario(self):
+        """Under the CI chaos schedule, cache-on equals cache-off —
+        faulted deliveries bypass the cache and faulted zone builds are
+        never body-reused."""
+        scenario = FaultSchedule.load(SCENARIO_PATH)
+        kwargs = dict(day_step=28, ech_sample=20, scenario=scenario)
+        off = run_logged(CONFIG, False, **kwargs)
+        on = run_logged(CONFIG, True, **kwargs)
+        assert on[0] == off[0]
+        assert on[1] == off[1]  # per-server query logs
+        assert on[0].run_stats.timeouts > 0  # the schedule actually bit
+        assert on[0].run_stats.answer_hits > 0
+
+
+class TestZoneBodyReuse:
+    """Tier 2: a reused body is value-identical to a fresh build."""
+
+    def zone_key(self, zone):
+        return sorted(
+            (rr.name.to_text(), rr.rdtype, rr.ttl,
+             tuple(sorted(r.wire_bytes() for r in rr.rdatas)))
+            for rr in zone.rrsets()
+        )
+
+    def test_reused_zone_equals_fresh_build(self):
+        warm = World(CONFIG)
+        warm.set_answer_cache(True)
+        day = datetime.date(2023, 7, 14)
+        profile = next(
+            p for p in warm.listed_profiles(day)
+            if p.adopter and domains.zone_body_fingerprint(
+                p, CONFIG, day, None
+            ) == domains.zone_body_fingerprint(
+                p, CONFIG, day + datetime.timedelta(days=1), None
+            )
+        )
+        warm.set_time(day)
+        warm.zone_of(profile)
+        builds = warm.zone_builds
+        warm.set_time(day + datetime.timedelta(days=1))
+        reused = warm.zone_of(profile)
+        assert warm.zone_body_reuses >= 1
+        assert warm.zone_builds == builds  # no rebuild for this profile
+
+        fresh = World(CONFIG)
+        fresh.set_time(day + datetime.timedelta(days=1))
+        rebuilt = fresh.zone_of(profile)
+        assert self.zone_key(reused) == self.zone_key(rebuilt)
+        assert reused.soa[0].serial == rebuilt.soa[0].serial
+
+    def test_same_day_reuse_skips_serial_roll(self):
+        world = World(CONFIG)
+        world.set_answer_cache(True)
+        day = datetime.date(2023, 7, 14)
+        world.set_time(day)
+        profile = next(p for p in world.listed_profiles(day) if p.adopter)
+        first = world.zone_of(profile)
+        serial = first.soa[0].serial
+        world.set_time(day, hour=9.0)  # same day, later hour
+        again = world.zone_of(profile)
+        assert again is first
+        assert again.soa[0].serial == serial
+        assert serial == timeline.day_index(day) + 1
+
+
+class TestLifecycle:
+    def test_world_reset_flushes_and_disarms(self):
+        world = World(CONFIG)
+        world.set_answer_cache(True)
+        world.set_time(datetime.date(2023, 7, 14))
+        world.stub.query_https(world.tranco_list()[0])
+        world.reset()
+        assert world.answer_cache.enabled is False
+        assert len(world.answer_cache) == 0
+        assert world._zone_bodies == {}
+        assert world.answer_cache.hits == 0
+        assert world.answer_cache.misses == 0
+        assert world.zone_builds == 0
+        assert world.zone_body_reuses == 0
+
+    def test_disarm_drops_zone_bodies(self):
+        world = World(CONFIG)
+        world.set_answer_cache(True)
+        world.set_time(datetime.date(2023, 7, 14))
+        world.zone_of(next(p for p in world.listed_profiles() if p.adopter))
+        assert world._zone_bodies
+        world.set_answer_cache(False)
+        assert world._zone_bodies == {}
+        assert len(world.answer_cache) == 0
+
+    def test_fault_install_and_clear_invalidate(self):
+        world = World(CONFIG)
+        world.set_answer_cache(True)
+        world.set_time(datetime.date(2023, 9, 15))
+        world.stub.query_https(world.tranco_list()[0])
+        assert len(world.answer_cache) > 0
+        world.install_faults(FaultSchedule.load(SCENARIO_PATH))
+        assert len(world.answer_cache) == 0
+        world.stub.query_https(world.tranco_list()[0])
+        world.clear_faults()
+        assert len(world.answer_cache) == 0
+
+
+class TestAnswerCacheUnit:
+    class FakeResponse:
+        rcode = 0
+        authoritative = True
+        answers = ()
+        authority = ()
+        additional = ()
+
+    def test_eviction_bound_holds(self):
+        cache = AnswerCache(capacity=8)
+        cache.set_enabled(True)
+        for index in range(20):
+            cache.store(("key", index), self.FakeResponse())
+        assert len(cache) == 8
+        assert cache.evictions == 12
+        # oldest entries are the evicted ones
+        assert cache.lookup(("key", 0)) is None
+        assert cache.lookup(("key", 19)) is not None
+
+    def test_toggle_clears_entries(self):
+        cache = AnswerCache(capacity=8)
+        cache.set_enabled(True)
+        cache.store(("key", 1), self.FakeResponse())
+        cache.set_enabled(False)
+        assert len(cache) == 0
+        cache.set_enabled(True)
+        assert len(cache) == 0
+
+    def test_invalidate_keeps_counters(self):
+        cache = AnswerCache(capacity=8)
+        cache.set_enabled(True)
+        cache.store(("key", 1), self.FakeResponse())
+        cache.lookup(("key", 1))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestCacheIdentity:
+    """The knob is execution-only: it must never reach the cache tag."""
+
+    def test_cache_tag_ignores_answer_cache(self, tmp_path):
+        spec = StudySpec(SimConfig(population=60), day_step=14)
+        tag = spec.cache_tag()
+        on = Study(spec, ExecutionPlan(cache_dir=str(tmp_path), answer_cache=True))
+        off = Study(spec, ExecutionPlan(cache_dir=str(tmp_path), answer_cache=False))
+        assert on.cache_path == off.cache_path
+        assert spec.cache_tag() == tag
+
+    def test_from_env_default_and_override(self):
+        assert ExecutionPlan.from_env(environ={}).answer_cache is True
+        assert ExecutionPlan.from_env(
+            environ={"REPRO_ANSWER_CACHE": "0"}
+        ).answer_cache is False
+        assert ExecutionPlan.from_env(
+            environ={"REPRO_ANSWER_CACHE": "yes"}
+        ).answer_cache is True
+        assert ExecutionPlan.from_env(
+            environ={"REPRO_ANSWER_CACHE": "1"}, answer_cache=False
+        ).answer_cache is False
+
+    def test_run_stats_merge_accumulates_counters(self):
+        from repro.scanner.campaign import RunStats
+
+        left = RunStats(answer_hits=3, wire_byte_hits=1, zone_body_reuses=2)
+        right = RunStats(answer_hits=4, answer_evictions=1, zone_builds=5)
+        merged = left + right
+        assert merged.answer_hits == 7
+        assert merged.answer_evictions == 1
+        assert merged.wire_byte_hits == 1
+        assert merged.zone_builds == 5
+        assert merged.zone_body_reuses == 2

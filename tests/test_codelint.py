@@ -44,6 +44,7 @@ FIXTURE_RULES = {
     "tag": ("repro.study", {"TAG01"}),
     "gc": ("repro.scanner.fixture", {"GC01"}),
     "fstr": ("repro.manage.fixture", {"FSTR01"}),
+    "inv": ("repro.simnet.fixture", {"INV01"}),
 }
 
 
@@ -258,6 +259,28 @@ class TestMutations:
             f.code == "TAG01" and "surprise_knob" in f.message for f in findings
         ), findings
 
+
+    def test_removing_answer_cache_invalidation_fires(self):
+        """The paired-invalidation invariant: deleting one of world.py's
+        answer_cache.invalidate() lines next to a _zone_cache.clear()
+        must trip INV01 — otherwise the fast path would serve answers
+        rendered from zones that no longer exist."""
+        world_py = os.path.join(SRC, "repro", "simnet", "world.py")
+        with open(world_py) as handle:
+            source = handle.read()
+        mutated = re.sub(
+            r"\n *self\.answer_cache\.invalidate\(\)", "", source, count=1
+        )
+        assert mutated != source, "mutation did not apply"
+        clean = lint_source(parse_source(world_py, module="repro.simnet.world"))
+        assert [f for f in clean if f.code == "INV01"] == []
+        findings = lint_source(
+            parse_source(world_py, text=mutated, module="repro.simnet.world")
+        )
+        assert any(
+            f.code == "INV01" and "_zone_cache.clear()" in f.message
+            for f in findings
+        ), findings
 
     def test_dropping_scenario_from_cache_tag_fires(self):
         """The chaos `scenario` field is dataset identity; silently
