@@ -31,27 +31,40 @@ from .baseline import (
 from .cli import main
 from .engine import (
     RESTRICTED_SUBSYSTEMS,
+    LintRun,
+    ProjectRule,
     Rule,
     SourceFile,
     all_rules,
+    file_scope_rules,
     known_codes,
     lint_paths,
     lint_source,
     parse_source,
+    project_findings,
+    project_scope_rules,
     register,
+    run_lint,
 )
 from .findings import Finding, Severity, render_json, render_text
+from .graph import ProjectGraph, build_project
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from . import project_rules as _project_rules  # noqa: F401  (ditto)
 
 __all__ = [
     "BaselineError",
     "DEFAULT_BASELINE",
     "Finding",
+    "LintRun",
+    "ProjectGraph",
+    "ProjectRule",
     "RESTRICTED_SUBSYSTEMS",
     "Rule",
     "Severity",
     "SourceFile",
     "all_rules",
+    "build_project",
+    "file_scope_rules",
     "known_codes",
     "lint_paths",
     "lint_source",
@@ -59,8 +72,11 @@ __all__ = [
     "main",
     "parse_source",
     "partition",
+    "project_findings",
+    "project_scope_rules",
     "register",
     "render_json",
     "render_text",
+    "run_lint",
     "write_baseline",
 ]

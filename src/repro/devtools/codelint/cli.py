@@ -5,18 +5,27 @@ Run as ``python -m repro.devtools.codelint [paths...]`` or
 
 * ``0`` — no findings beyond the committed baseline
 * ``1`` — new findings (printed, and in the JSON report)
-* ``2`` — usage error / unreadable baseline
+* ``2`` — usage error / unreadable baseline / git failure
+
+One invocation runs both scopes: the per-file rules walk every path,
+then the project-scope rules (DET02/LAYER01/RACE01/DEAD01) run once
+over the full parsed tree.  ``--changed[=REF]`` narrows the *report* to
+files changed versus a git ref while the project graph still covers the
+whole tree, so cross-module findings stay sound; ``--stats`` surfaces
+per-rule wall time so CI artifacts can catch rule-cost regressions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import subprocess
 import sys
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from . import baseline as baseline_mod
-from .engine import all_rules, lint_paths
+from .engine import all_rules, run_lint
 from .findings import Finding, render_json, render_text, severity_counts
 
 
@@ -38,6 +47,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json-out", metavar="FILE", default=None,
                         help="additionally write the JSON report to FILE "
                              "(CI artifact)")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="REF",
+                        help="report only findings in files changed vs the "
+                             "given git ref (default HEAD when the flag is "
+                             "bare); project-scope rules still analyse the "
+                             "full tree")
+    parser.add_argument("--stats", action="store_true",
+                        help="append per-rule wall-time and finding counts "
+                             "to the report")
+    parser.add_argument("--stats-out", metavar="FILE", default=None,
+                        help="write the per-rule stats as JSON to FILE "
+                             "(CI artifact; implies collecting stats)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="baseline file of grandfathered findings "
                              f"(default: {baseline_mod.DEFAULT_BASELINE} "
@@ -55,8 +76,38 @@ def build_parser() -> argparse.ArgumentParser:
 def _rule_catalogue() -> str:
     lines = []
     for rule in all_rules():
-        lines.append(f"{rule.code} [{rule.severity.value}] {rule.name}")
+        scope = "project" if rule.project_scope else "file"
+        lines.append(f"{rule.code} [{rule.severity.value}, {scope}] {rule.name}")
         lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _git_lines(args: List[str]) -> List[str]:
+    completed = subprocess.run(
+        ["git"] + args, capture_output=True, text=True, check=True,
+    )
+    return [line.strip() for line in completed.stdout.splitlines() if line.strip()]
+
+
+def _changed_paths(ref: str) -> Set[str]:
+    """Real paths of files changed vs *ref*, plus untracked files (a
+    brand-new module should lint before its first commit)."""
+    top = _git_lines(["rev-parse", "--show-toplevel"])[0]
+    names = _git_lines(["diff", "--name-only", ref, "--"])
+    names += _git_lines(["ls-files", "--others", "--exclude-standard"])
+    return {os.path.realpath(os.path.join(top, name)) for name in names}
+
+
+def _render_stats_text(stats_payload) -> str:
+    lines = [f"codelint stats: {stats_payload['files']} file(s)"]
+    rules = stats_payload["rules"]
+    width = max((len(code) for code in rules), default=4)
+    for code in sorted(rules):
+        entry = rules[code]
+        lines.append(
+            f"  {code:<{width}}  {entry['seconds']*1000:8.1f} ms  "
+            f"{entry['findings']} finding(s)"
+        )
     return "\n".join(lines)
 
 
@@ -74,7 +125,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         parser.error(f"no such path: {', '.join(missing)}")
 
-    findings = lint_paths(paths)
+    run = run_lint(paths)
+    findings = run.findings
+
+    if args.changed is not None:
+        try:
+            changed = _changed_paths(args.changed)
+        except (OSError, subprocess.CalledProcessError, IndexError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError):
+                detail = (exc.stderr or "").strip() or str(exc)
+            else:
+                detail = str(exc)
+            print(f"codelint: --changed failed: {detail}", file=sys.stderr)
+            return 2
+        findings = [
+            finding for finding in findings
+            if os.path.realpath(finding.where) in changed
+        ]
 
     baseline_path = args.baseline or baseline_mod.DEFAULT_BASELINE
     if args.write_baseline:
@@ -92,6 +160,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         findings, grandfathered = baseline_mod.partition(findings, tolerated)
 
+    stats_payload = run.stats_json()
     report_extra = {
         "baseline": {
             "path": baseline_path if grandfathered else None,
@@ -99,6 +168,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "new": len(findings),
     }
+    if args.changed is not None:
+        report_extra["changed_vs"] = args.changed
+    if args.stats or args.stats_out:
+        report_extra["stats"] = stats_payload
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            json.dump(stats_payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             handle.write(render_json(findings, **report_extra))
@@ -114,4 +191,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         ) or "clean"
         suffix = f" ({len(grandfathered)} baselined)" if grandfathered else ""
         print(f"codelint: {summary}{suffix}")
+        if args.stats:
+            print(_render_stats_text(stats_payload))
     return 1 if findings else 0

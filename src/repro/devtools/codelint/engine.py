@@ -16,11 +16,18 @@ import ast
 import io
 import os
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+    Tuple,
+)
 
 from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph needs SourceFile)
+    from .graph import ProjectGraph
 
 #: Subsystems where stochastic behaviour must route through
 #: ``simnet/determinism.py`` (dataset identity depends on them being
@@ -106,6 +113,8 @@ class Rule:
     name: str = ""
     severity: Severity = Severity.ERROR
     rationale: str = ""
+    #: project-scope rules run once, after the file walk, over the graph.
+    project_scope: bool = False
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
         raise NotImplementedError
@@ -125,6 +134,41 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs more than one file: it runs once per lint run,
+    after every file has been parsed and file-scope rules have walked,
+    with the whole-project :class:`~.graph.ProjectGraph` (import graph,
+    name-resolved call graph, shared-state inventory) plus every
+    per-file AST.
+
+    Subclasses implement :meth:`check_project` instead of :meth:`check`.
+    Findings anchor to real (path, line) positions, so per-line
+    ``# codelint: disable=`` suppressions, the baseline identity scheme,
+    renderers, and ``--list-rules`` all apply unchanged.
+    """
+
+    project_scope: bool = True
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectGraph") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        lineno: int,
+        col: int,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            self.code, severity or self.severity, path, message,
+            line=lineno, col=col,
+        )
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -139,6 +183,16 @@ def register(cls):
 
 def all_rules() -> List[Rule]:
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def file_scope_rules(rules: Optional[Sequence[Rule]] = None) -> List[Rule]:
+    pool = list(rules) if rules is not None else all_rules()
+    return [rule for rule in pool if not rule.project_scope]
+
+
+def project_scope_rules(rules: Optional[Sequence[Rule]] = None) -> List[Rule]:
+    pool = list(rules) if rules is not None else all_rules()
+    return [rule for rule in pool if rule.project_scope]
 
 
 def known_codes() -> Set[str]:
@@ -196,17 +250,10 @@ def parse_source(
     )
 
 
-def lint_source(
-    src: SourceFile, rules: Optional[Sequence[Rule]] = None
-) -> List[Finding]:
-    """All findings for one file: rule output plus suppression-syntax
-    errors, minus findings disabled on their own line."""
-    active = list(rules) if rules is not None else all_rules()
-    findings: List[Finding] = []
-    for rule in active:
-        findings.extend(rule.check(src))
-
+def _suppression_findings(src: SourceFile) -> List[Finding]:
+    """SUP01 findings for suppression comments naming unknown codes."""
     valid = known_codes()
+    findings: List[Finding] = []
     for line, codes in sorted(src.suppressions.items()):
         unknown = sorted(code for code in codes if code not in valid)
         for code in unknown:
@@ -216,14 +263,37 @@ def lint_source(
                 f"(known: {', '.join(sorted(valid))})",
                 line=line, col=0,
             ))
+    return findings
 
-    kept = [
-        finding for finding in findings
-        if not (
-            finding.code != SUPPRESS_CODE
+
+def _apply_suppressions(
+    findings: Iterable[Finding], by_path: Dict[str, SourceFile]
+) -> List[Finding]:
+    """Drop findings whose code is disabled on their own line."""
+    kept: List[Finding] = []
+    for finding in findings:
+        src = by_path.get(finding.where)
+        if (
+            src is not None
+            and finding.code != SUPPRESS_CODE
             and finding.code.upper() in src.suppressions.get(finding.line, ())
-        )
-    ]
+        ):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    src: SourceFile, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """All file-scope findings for one file: rule output plus
+    suppression-syntax errors, minus findings disabled on their own
+    line.  Project-scope rules in *rules* are ignored (they need the
+    whole tree — see :func:`run_lint` / :func:`project_findings`)."""
+    findings = list(_suppression_findings(src))
+    for rule in file_scope_rules(rules):
+        findings.extend(rule.check(src))
+    kept = _apply_suppressions(findings, {src.path: src})
     return sorted(kept, key=Finding.sort_key)
 
 
@@ -246,21 +316,178 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
     return sorted(set(found))
 
 
-def lint_paths(
-    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+#: Sibling directories of a linted ``src`` tree whose references count
+#: for reachability analyses (DEAD01) without being linted themselves.
+CONSUMER_DIRS = ("tests", "benchmarks", "examples")
+
+
+@dataclass
+class LintRun:
+    """One full lint run: findings plus per-rule cost accounting.
+
+    ``stats`` maps rule code (plus the pseudo-entries ``parse`` and
+    ``graph``) to ``{"seconds": wall_time, "findings": count}`` —
+    the ``--stats`` surface CI uses to spot rule-cost regressions.
+    """
+
+    findings: List[Finding]
+    stats: Dict[str, Dict[str, float]]
+    files: int = 0
+
+    def stats_json(self) -> Dict[str, object]:
+        return {
+            "files": self.files,
+            "rules": {
+                code: {
+                    "seconds": round(entry["seconds"], 6),
+                    "findings": int(entry["findings"]),
+                }
+                for code, entry in sorted(self.stats.items())
+            },
+        }
+
+
+def _stat_entry(
+    stats: Dict[str, Dict[str, float]], code: str
+) -> Dict[str, float]:
+    return stats.setdefault(code, {"seconds": 0.0, "findings": 0})
+
+
+def _discover_consumers(
+    paths: Iterable[str], linted: Set[str]
+) -> Tuple[List[SourceFile], List[str]]:
+    """Reference-only sources for a project pass: when a linted path is
+    (or contains) a ``src`` tree, its sibling ``tests``/``benchmarks``/
+    ``examples`` files plus ``setup.py`` are parsed for references, and
+    ``pyproject.toml`` (entry points) is harvested as raw text."""
+    roots: Set[str] = set()
+    for path in paths:
+        absolute = os.path.abspath(path)
+        if os.path.isdir(absolute):
+            if os.path.basename(absolute) == "src":
+                roots.add(os.path.dirname(absolute))
+            elif os.path.isdir(os.path.join(absolute, "src")):
+                roots.add(absolute)
+    consumer_files: List[str] = []
+    texts: List[str] = []
+    for root in sorted(roots):
+        for sub in CONSUMER_DIRS:
+            directory = os.path.join(root, sub)
+            if os.path.isdir(directory):
+                consumer_files.extend(iter_python_files([directory]))
+        setup_py = os.path.join(root, "setup.py")
+        if os.path.isfile(setup_py):
+            consumer_files.append(setup_py)
+        pyproject = os.path.join(root, "pyproject.toml")
+        if os.path.isfile(pyproject):
+            with open(pyproject, encoding="utf-8") as handle:
+                texts.append(handle.read())
+    consumers: List[SourceFile] = []
+    for path in consumer_files:
+        if os.path.abspath(path) in linted:
+            continue
+        try:
+            consumers.append(parse_source(path))
+        except SyntaxError:
+            continue  # consumers inform reachability; they are not linted
+    return consumers, texts
+
+
+def project_findings(
+    sources: Sequence[SourceFile],
+    consumers: Sequence[SourceFile] = (),
+    rules: Optional[Sequence[Rule]] = None,
+    stats: Optional[Dict[str, Dict[str, float]]] = None,
+    extra_reference_texts: Sequence[str] = (),
 ) -> List[Finding]:
-    """Lint every python file under *paths*; unparseable files become
-    ``PARSE`` findings instead of aborting the run."""
+    """Run the project-scope rules over already-parsed *sources*.
+
+    Per-line suppressions in the source files apply to project findings
+    exactly as they do to file findings.  Tests drive this directly with
+    synthetic :class:`SourceFile` sets; :func:`run_lint` drives it with
+    the walked tree.
+    """
+    from .graph import build_project
+
+    active = project_scope_rules(rules)
+    if not active or not sources:
+        return []
+    started = time.perf_counter()
+    project = build_project(sources, consumers, extra_reference_texts)
+    if stats is not None:
+        _stat_entry(stats, "graph")["seconds"] += time.perf_counter() - started
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
+    for rule in active:
+        started = time.perf_counter()
+        produced = list(rule.check_project(project))
+        if stats is not None:
+            entry = _stat_entry(stats, rule.code)
+            entry["seconds"] += time.perf_counter() - started
+        findings.extend(produced)
+    by_path = {src.path: src for src in sources}
+    return _apply_suppressions(findings, by_path)
+
+
+def run_lint(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> LintRun:
+    """Lint every python file under *paths* with both scopes in one
+    pass: the per-file walk first, then the project-scope rules over the
+    full parsed tree.  Unparseable files become ``PARSE`` findings
+    instead of aborting the run."""
+    stats: Dict[str, Dict[str, float]] = {}
+    file_active = file_scope_rules(rules)
+    project_active = project_scope_rules(rules)
+    findings: List[Finding] = []
+    sources: List[SourceFile] = []
+    files = iter_python_files(paths)
+    for path in files:
+        started = time.perf_counter()
         try:
             src = parse_source(path)
         except SyntaxError as exc:
+            _stat_entry(stats, PARSE_CODE)["seconds"] += (
+                time.perf_counter() - started
+            )
             findings.append(Finding(
                 PARSE_CODE, Severity.ERROR, path,
                 f"file does not parse: {exc.msg}",
                 line=exc.lineno or 0, col=exc.offset or 0,
             ))
             continue
-        findings.extend(lint_source(src, rules))
-    return sorted(findings, key=Finding.sort_key)
+        _stat_entry(stats, PARSE_CODE)["seconds"] += (
+            time.perf_counter() - started
+        )
+        sources.append(src)
+        findings.extend(_suppression_findings(src))
+        for rule in file_active:
+            started = time.perf_counter()
+            produced = list(rule.check(src))
+            _stat_entry(stats, rule.code)["seconds"] += (
+                time.perf_counter() - started
+            )
+            findings.extend(produced)
+    by_path = {src.path: src for src in sources}
+    findings = _apply_suppressions(findings, by_path)
+
+    if project_active and sources:
+        consumers, texts = _discover_consumers(
+            paths, {os.path.abspath(path) for path in files}
+        )
+        findings.extend(project_findings(
+            sources, consumers, project_active, stats, texts,
+        ))
+
+    findings = sorted(findings, key=Finding.sort_key)
+    for rule in (rules if rules is not None else all_rules()):
+        _stat_entry(stats, rule.code)
+    for finding in findings:
+        _stat_entry(stats, finding.code)["findings"] += 1
+    return LintRun(findings=findings, stats=stats, files=len(files))
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Back-compat façade over :func:`run_lint`: just the findings."""
+    return run_lint(paths, rules).findings

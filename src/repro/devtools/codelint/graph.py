@@ -1,0 +1,715 @@
+"""Project-scope source model: the import graph and a name-resolved
+intra-project call graph over every parsed :class:`SourceFile`.
+
+File-local AST rules (``rules.py``) cannot see a ``simnet/`` function
+that calls a helper which calls ``time.time()`` two modules away, an
+import that inverts the layering, or a cache written from a thread-pool
+worker defined elsewhere.  This module builds the shared cross-file
+model those analyses need; :mod:`.project_rules` consumes it.
+
+Resolution is **best-effort and never guesses**: a call is resolved
+when its target can be named through module-level definitions, import
+aliases (absolute and relative), ``self.``/``cls.`` method dispatch
+(including one-hop base-class lookup when the base resolves to a
+project class), or class-qualified access.  Everything else is recorded
+in :attr:`ProjectGraph.unresolved` so a rule can reason about the gap
+instead of silently assuming an empty call set.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import SourceFile
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Containers whose in-place mutation from concurrent writers is a race.
+CONTAINER_CALLS = {
+    "dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter",
+}
+
+_CONTAINER_LITERALS = (
+    ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+
+_LOCK_CALLS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def dotted_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]`` for pure Name-rooted chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return parts[::-1]
+
+
+def is_container_value(value: ast.AST) -> bool:
+    """Does *value* construct a mutable container (literal or call)?"""
+    if isinstance(value, _CONTAINER_LITERALS):
+        return True
+    if isinstance(value, ast.Call):
+        chain = dotted_chain(value.func)
+        return bool(chain) and chain[-1] in CONTAINER_CALLS
+    return False
+
+
+def _is_lock_value(value: ast.AST) -> bool:
+    if isinstance(value, ast.Call):
+        chain = dotted_chain(value.func)
+        return bool(chain) and chain[-1] in _LOCK_CALLS
+    return False
+
+
+@dataclass
+class ImportEdge:
+    """One project-internal import: *importer* module imports *target*."""
+
+    importer: str
+    target: str
+    symbol: Optional[str]
+    path: str
+    lineno: int
+    col: int
+    toplevel: bool
+    type_only: bool  # under `if TYPE_CHECKING:` — no runtime edge
+
+
+@dataclass
+class CallEdge:
+    """A resolved intra-project call: *caller* qualname invokes *target*."""
+
+    caller: str
+    target: str
+    path: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class FunctionNode:
+    """One function or method, addressable by dotted qualname."""
+
+    qualname: str
+    name: str
+    module: str
+    class_name: Optional[str]
+    path: str
+    lineno: int
+    node: ast.AST = field(repr=False)
+
+    @property
+    def subsystem(self) -> Optional[str]:
+        parts = self.module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return None
+
+
+@dataclass
+class ClassInfo:
+    """One class: method table, shared-state attributes, lock attributes."""
+
+    qualname: str
+    name: str
+    module: str
+    node: ast.ClassDef = field(repr=False)
+    methods: Dict[str, str] = field(default_factory=dict)
+    base_chains: List[List[str]] = field(default_factory=list)
+    #: container attrs: class-body assigns plus ``self.X = {...}`` in __init__.
+    container_attrs: Set[str] = field(default_factory=set)
+    #: attrs first assigned in __init__ (shared instance state, any type).
+    init_attrs: Set[str] = field(default_factory=set)
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: module-level names bound to an instance of this class.
+    module_instances: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PublicSymbol:
+    """A public top-level def/class in a ``repro.*`` module."""
+
+    name: str
+    module: str
+    path: str
+    lineno: int
+    kind: str  # "function" | "class"
+    decorated: bool
+    #: identifier tokens inside the symbol's own subtree (self-references
+    #: such as recursion or docstrings never count as external use).
+    own_refs: Counter = field(default_factory=Counter)
+
+
+@dataclass
+class ThreadRoot:
+    """A function handed to a thread: ``pool.submit(f)``, a
+    ``threading.Thread(target=f)``, or a function referenced by name in
+    a module that constructs a thread pool (indirect submission)."""
+
+    qualname: str
+    via: str
+    path: str
+    lineno: int
+
+
+class ProjectGraph:
+    """Everything :class:`~.engine.ProjectRule` analyses share."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, SourceFile] = {}
+        self.packages: Set[str] = set()
+        self.functions: Dict[str, FunctionNode] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.calls: Dict[str, List[CallEdge]] = {}
+        #: caller qualname → dotted text of calls that did not resolve.
+        self.unresolved: Dict[str, List[str]] = {}
+        self.import_edges: List[ImportEdge] = []
+        #: module → local alias → dotted target (import resolution scope).
+        self.import_aliases: Dict[str, Dict[str, str]] = {}
+        #: module → top-level name → qualname (functions and classes).
+        self.module_scope: Dict[str, Dict[str, str]] = {}
+        #: module → module-level mutable container names.
+        self.module_containers: Dict[str, Dict[str, int]] = {}
+        #: module → module-level lock-valued names.
+        self.module_locks: Dict[str, Set[str]] = set_default_dict()
+        self.thread_roots: List[ThreadRoot] = []
+        self.public_symbols: List[PublicSymbol] = []
+        #: identifier tokens across all project + consumer sources.
+        self.reference_counts: Counter = Counter()
+        #: paths parsed as consumers (tests/benchmarks/... — references
+        #: only, no findings).
+        self.consumer_paths: List[str] = []
+
+    # -- lookups -----------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionNode]:
+        return self.functions.get(qualname)
+
+    def calls_from(self, qualname: str) -> List[CallEdge]:
+        return self.calls.get(qualname, [])
+
+    def source_for_path(self, path: str) -> Optional[SourceFile]:
+        for src in self.modules.values():
+            if src.path == path:
+                return src
+        return None
+
+    def resolve_method(
+        self, class_qualname: str, method: str, _depth: int = 0
+    ) -> Optional[str]:
+        """``Class.method`` through the class and (resolvable) bases."""
+        info = self.classes.get(class_qualname)
+        if info is None or _depth > 8:
+            return None
+        if method in info.methods:
+            return info.methods[method]
+        for chain in info.base_chains:
+            base = self._resolve_scope_chain(info.module, chain)
+            if base in self.classes:
+                found = self.resolve_method(base, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_scope_chain(
+        self, module: str, chain: Sequence[str]
+    ) -> Optional[str]:
+        """A dotted name used inside *module* → project qualname."""
+        scope = self.module_scope.get(module, {})
+        aliases = self.import_aliases.get(module, {})
+        root = chain[0]
+        if root in scope:
+            dotted = ".".join([scope[root]] + list(chain[1:]))
+        elif root in aliases:
+            dotted = ".".join([aliases[root]] + list(chain[1:]))
+        else:
+            return None
+        return self._normalize_qualname(dotted)
+
+    def _normalize_qualname(self, dotted: str) -> Optional[str]:
+        """Map a dotted path to a known function/class/module qualname,
+        collapsing re-export hops (``repro.simnet.timeline.iter_days``
+        imported as ``repro.simnet.iter_days``)."""
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        if dotted in self.modules or dotted in self.packages:
+            return dotted
+        # one re-export hop through a package __init__
+        head, _, tail = dotted.rpartition(".")
+        package_aliases = self.import_aliases.get(head)
+        if package_aliases and tail in package_aliases:
+            target = package_aliases[tail]
+            if target != dotted:
+                return self._normalize_qualname(target)
+        return None
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call_chain(
+        self, module: str, class_qualname: Optional[str], chain: List[str]
+    ) -> Optional[str]:
+        """The qualname a call chain targets, or None when unresolvable.
+
+        Handles ``self.m()``/``cls.m()`` (method dispatch through bases),
+        module-scope functions and classes (a class resolves to its
+        ``__init__`` when defined), imported functions and modules, and
+        class-qualified methods.
+        """
+        if chain[0] in ("self", "cls") and class_qualname is not None:
+            if len(chain) == 2:
+                return self.resolve_method(class_qualname, chain[1])
+            return None
+        target = self._resolve_scope_chain(module, chain)
+        if target is None:
+            return None
+        if target in self.functions:
+            return target
+        if target in self.classes:
+            init = self.classes[target].methods.get("__init__")
+            return init if init is not None else target
+        return None
+
+
+def set_default_dict() -> Dict[str, Set[str]]:
+    from collections import defaultdict
+
+    return defaultdict(set)
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+
+def _walk_toplevel(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, bool, bool]]:
+    """Yield ``(node, toplevel, type_only)`` for every node, where
+    *toplevel* means outside any function/lambda body and *type_only*
+    means under an ``if TYPE_CHECKING:`` guard."""
+    stack: List[Tuple[ast.AST, bool, bool]] = [(tree, True, False)]
+    while stack:
+        node, toplevel, type_only = stack.pop()
+        yield node, toplevel, type_only
+        child_toplevel = toplevel and not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        child_type_only = type_only
+        if isinstance(node, ast.If):
+            test_chain = dotted_chain(node.test)
+            if test_chain and test_chain[-1] == "TYPE_CHECKING":
+                child_type_only = True
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_toplevel, child_type_only))
+
+
+def _module_imports(
+    src: SourceFile,
+) -> Tuple[Dict[str, str], List[Tuple[str, Optional[str], ast.AST, bool, bool]]]:
+    """(alias map, [(target_module_or_symbol, symbol, node, toplevel,
+    type_only)]) for every import in *src*.  Relative imports resolve
+    against the file's own dotted module."""
+    aliases: Dict[str, str] = {}
+    raw: List[Tuple[str, Optional[str], ast.AST, bool, bool]] = []
+    parts = list(src.module_parts)
+    is_package = src.path.endswith("__init__.py")
+    for node, toplevel, type_only in _walk_toplevel(src.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    aliases.setdefault(
+                        alias.name.split(".")[0], alias.name.split(".")[0]
+                    )
+                raw.append((alias.name, None, node, toplevel, type_only))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = parts if is_package else parts[:-1]
+                hops = node.level - 1
+                base = base[: len(base) - hops] if hops else base
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            if not prefix:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    raw.append((prefix, "*", node, toplevel, type_only))
+                    continue
+                dotted = f"{prefix}.{alias.name}"
+                aliases[alias.asname or alias.name] = dotted
+                raw.append((prefix, alias.name, node, toplevel, type_only))
+    return aliases, raw
+
+
+def _class_shared_state(node: ast.ClassDef) -> Tuple[Set[str], Set[str], Set[str]]:
+    """(container attrs, __init__-assigned attrs, lock attrs) of a class."""
+    containers: Set[str] = set()
+    init_attrs: Set[str] = set()
+    locks: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if is_container_value(stmt.value):
+                        containers.add(target.id)
+                    if _is_lock_value(stmt.value):
+                        locks.add(target.id)
+    for stmt in node.body:
+        if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name in ("__init__", "__new__")):
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                value = sub.value
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        init_attrs.add(target.attr)
+                        if value is not None and is_container_value(value):
+                            containers.add(target.attr)
+                        if value is not None and _is_lock_value(value):
+                            locks.add(target.attr)
+    return containers, init_attrs, locks
+
+
+def _identifier_tokens(tree: ast.AST) -> Iterator[str]:
+    """Every identifier a file could be referring to something by: names,
+    attribute accesses, import targets, keyword-argument names, and the
+    identifier-shaped tokens of short string constants (``__all__``
+    entries, ``"pkg.mod:func"`` entry points, ``getattr`` names)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.keyword) and node.arg:
+            yield node.arg
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            module = getattr(node, "module", None)
+            if module:
+                yield from module.split(".")
+            for alias in node.names:
+                yield from alias.name.split(".")
+                if alias.asname:
+                    yield alias.asname
+        elif (isinstance(node, ast.Constant) and isinstance(node.value, str)
+                and len(node.value) <= 400):
+            yield from _IDENT_RE.findall(node.value)
+
+
+def _collect_definitions(graph: ProjectGraph, src: SourceFile) -> None:
+    module = src.module
+    scope: Dict[str, str] = {}
+    graph.module_scope[module] = scope
+
+    def visit(node: ast.AST, qual_stack: List[str], class_qual: Optional[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = ".".join([module] + qual_stack + [child.name])
+                graph.functions[qualname] = FunctionNode(
+                    qualname=qualname, name=child.name, module=module,
+                    class_name=qual_stack[-1] if class_qual else None,
+                    path=src.path, lineno=child.lineno, node=child,
+                )
+                if not qual_stack:
+                    scope[child.name] = qualname
+                if class_qual is not None:
+                    graph.classes[class_qual].methods[child.name] = qualname
+                visit(child, qual_stack + [child.name], None)
+            elif isinstance(child, ast.ClassDef):
+                qualname = ".".join([module] + qual_stack + [child.name])
+                containers, init_attrs, locks = _class_shared_state(child)
+                info = ClassInfo(
+                    qualname=qualname, name=child.name, module=module,
+                    node=child, container_attrs=containers,
+                    init_attrs=init_attrs, lock_attrs=locks,
+                )
+                for base in child.bases:
+                    chain = dotted_chain(base)
+                    if chain:
+                        info.base_chains.append(chain)
+                graph.classes[qualname] = info
+                if not qual_stack:
+                    scope[child.name] = qualname
+                visit(child, qual_stack + [child.name], qualname)
+
+    visit(src.tree, [], None)
+
+    # Module-level containers, locks, and class instantiations.
+    containers: Dict[str, int] = {}
+    for stmt in src.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if is_container_value(stmt.value):
+                containers[target.id] = stmt.lineno
+            if _is_lock_value(stmt.value):
+                graph.module_locks[module].add(target.id)
+    graph.module_containers[module] = containers
+
+
+def _bind_module_instances(graph: ProjectGraph) -> None:
+    """Record module-level ``NAME = SomeClass(...)`` bindings so rules
+    can treat the instance's shared attributes as process-global state."""
+    for module, src in graph.modules.items():
+        for stmt in src.tree.body:
+            if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+                continue
+            chain = dotted_chain(stmt.value.func)
+            if chain is None:
+                continue
+            target = graph._resolve_scope_chain(module, chain)
+            if target in graph.classes:
+                for name_node in stmt.targets:
+                    if isinstance(name_node, ast.Name):
+                        graph.classes[target].module_instances.append(
+                            f"{module}.{name_node.id}"
+                        )
+
+
+def _collect_calls(graph: ProjectGraph, src: SourceFile) -> None:
+    module = src.module
+    for qualname, fn in graph.functions.items():
+        if fn.module != module or fn.path != src.path:
+            continue
+        class_qual = None
+        if fn.class_name is not None:
+            class_qual = qualname.rsplit(".", 2)[0] + "." + fn.class_name
+            if class_qual not in graph.classes:
+                class_qual = None
+        edges: List[CallEdge] = []
+        unresolved: List[str] = []
+        stack = list(ast.iter_child_nodes(fn.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _SCOPE_NODES):
+                continue  # nested defs own their calls
+            stack.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if chain is None:
+                continue
+            target = graph.resolve_call_chain(module, class_qual, chain)
+            if target is not None and (
+                target in graph.functions or target in graph.classes
+            ):
+                edges.append(CallEdge(
+                    caller=qualname, target=target, path=src.path,
+                    lineno=node.lineno, col=node.col_offset,
+                ))
+            else:
+                aliases = graph.import_aliases.get(module, {})
+                root = aliases.get(chain[0])
+                dotted = ".".join(
+                    (root.split(".") if root else [chain[0]]) + chain[1:]
+                )
+                unresolved.append(dotted)
+        if edges:
+            graph.calls[qualname] = edges
+        if unresolved:
+            graph.unresolved[qualname] = unresolved
+
+
+def _collect_thread_roots(graph: ProjectGraph, src: SourceFile) -> None:
+    module = src.module
+    creates_pool = False
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Call):
+            chain = dotted_chain(node.func)
+            if chain and chain[-1] in ("ThreadPoolExecutor", "ProcessPoolExecutor"):
+                creates_pool = True
+
+    def as_function(expr: ast.AST, class_qual: Optional[str]) -> Optional[str]:
+        chain = dotted_chain(expr)
+        if chain is None:
+            return None
+        target = graph.resolve_call_chain(module, class_qual, chain)
+        if target in graph.functions:
+            return target
+        if target in graph.classes:  # submitted callable object: its __call__
+            return graph.resolve_method(target, "__call__")
+        return None
+
+    for qualname, fn in graph.functions.items():
+        if fn.module != module or fn.path != src.path:
+            continue
+        class_qual = None
+        if fn.class_name is not None:
+            class_qual = qualname.rsplit(".", 2)[0] + "." + fn.class_name
+        stack = list(ast.iter_child_nodes(fn.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _SCOPE_NODES):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                tail = chain[-1] if chain else None
+                if tail in ("submit", "map") and node.args:
+                    target = as_function(node.args[0], class_qual)
+                    if target is not None:
+                        graph.thread_roots.append(ThreadRoot(
+                            qualname=target, via=f"{qualname} .{tail}()",
+                            path=src.path, lineno=node.lineno,
+                        ))
+                if tail == "Thread":
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            target = as_function(kw.value, class_qual)
+                            if target is not None:
+                                graph.thread_roots.append(ThreadRoot(
+                                    qualname=target,
+                                    via=f"{qualname} Thread(target=...)",
+                                    path=src.path, lineno=node.lineno,
+                                ))
+            elif (creates_pool and isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)):
+                # A bare function reference in a pool-owning module is
+                # assumed to flow into a submission indirectly (the
+                # pipeline's (fn, args) task tuples).
+                target = graph.resolve_call_chain(module, class_qual, [node.id])
+                if target in graph.functions and not _is_call_func(node, fn.node):
+                    graph.thread_roots.append(ThreadRoot(
+                        qualname=target, via=f"{qualname} (task reference)",
+                        path=src.path, lineno=node.lineno,
+                    ))
+
+
+def _is_call_func(name_node: ast.Name, scope: ast.AST) -> bool:
+    """Is *name_node* the function position of a Call in *scope*?"""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call) and node.func is name_node:
+            return True
+    return False
+
+
+def _collect_public_symbols(graph: ProjectGraph, src: SourceFile) -> None:
+    if not src.module.startswith("repro") or src.path.endswith("__init__.py"):
+        return
+    for stmt in src.tree.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if stmt.name.startswith("_"):
+            continue
+        graph.public_symbols.append(PublicSymbol(
+            name=stmt.name, module=src.module, path=src.path,
+            lineno=stmt.lineno,
+            kind="class" if isinstance(stmt, ast.ClassDef) else "function",
+            decorated=bool(stmt.decorator_list),
+            own_refs=Counter(_identifier_tokens(stmt)),
+        ))
+
+
+def build_project(
+    sources: Sequence[SourceFile],
+    consumers: Sequence[SourceFile] = (),
+    extra_reference_texts: Sequence[str] = (),
+) -> ProjectGraph:
+    """Build the :class:`ProjectGraph` for *sources*.
+
+    *consumers* are parsed-but-not-linted files (tests, benchmarks,
+    examples, setup.py) whose references count for reachability analyses
+    like DEAD01 but which never produce findings themselves.
+    *extra_reference_texts* are raw non-python texts (pyproject.toml)
+    whose identifier tokens likewise count as references — console
+    entry points keep ``*_main`` functions alive.
+    """
+    graph = ProjectGraph()
+    for src in sources:
+        if src.module:
+            graph.modules[src.module] = src
+            parts = src.module.split(".")
+            for depth in range(1, len(parts)):
+                graph.packages.add(".".join(parts[:depth]))
+
+    for src in sources:
+        _collect_definitions(graph, src)
+
+    for src in sources:
+        module = src.module
+        aliases, raw = _module_imports(src)
+        graph.import_aliases[module] = aliases
+        for prefix, symbol, node, toplevel, type_only in raw:
+            if symbol is None or symbol == "*":
+                target, edge_symbol = prefix, None if symbol is None else "*"
+            elif f"{prefix}.{symbol}" in graph.modules or (
+                symbol != "*" and _looks_like_module(graph, prefix, symbol)
+            ):
+                target, edge_symbol = f"{prefix}.{symbol}", None
+            else:
+                target, edge_symbol = prefix, symbol
+            if not target.split(".")[0] == "repro":
+                continue
+            graph.import_edges.append(ImportEdge(
+                importer=module, target=target, symbol=edge_symbol,
+                path=src.path, lineno=node.lineno, col=node.col_offset,
+                toplevel=toplevel, type_only=type_only,
+            ))
+
+    _bind_module_instances(graph)
+    for src in sources:
+        _collect_calls(graph, src)
+        _collect_thread_roots(graph, src)
+        _collect_public_symbols(graph, src)
+        graph.reference_counts.update(_identifier_tokens(src.tree))
+    for src in consumers:
+        graph.consumer_paths.append(src.path)
+        graph.reference_counts.update(_identifier_tokens(src.tree))
+    for text in extra_reference_texts:
+        graph.reference_counts.update(_IDENT_RE.findall(text))
+    return graph
+
+
+def _looks_like_module(graph: ProjectGraph, prefix: str, symbol: str) -> bool:
+    """``from repro.simnet import timeline`` imports a *module* even when
+    that module is outside the linted set — recognise it by the package
+    being known while the symbol is no known definition of it."""
+    dotted = f"{prefix}.{symbol}"
+    if dotted in graph.packages:
+        return True
+    if prefix in graph.modules:
+        scope = graph.module_scope.get(prefix, {})
+        aliases = graph.import_aliases.get(prefix, {})
+        return symbol not in scope and symbol not in aliases and (
+            dotted in graph.modules
+        )
+    return False
+
+
+def reachable_from(
+    graph: ProjectGraph, roots: Iterable[str]
+) -> Dict[str, Tuple[str, ...]]:
+    """BFS over the call graph: qualname → shortest chain from a root
+    (the chain starts at the root and ends at the qualname)."""
+    chains: Dict[str, Tuple[str, ...]] = {}
+    queue: List[str] = []
+    for root in roots:
+        if root in graph.functions and root not in chains:
+            chains[root] = (root,)
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        for edge in graph.calls_from(current):
+            target = edge.target
+            if target in graph.functions and target not in chains:
+                chains[target] = chains[current] + (target,)
+                queue.append(target)
+    return chains

@@ -554,10 +554,6 @@ class GenericRdata(Rdata):
         raise NotImplementedError("use rdata_from_text with an explicit type")
 
 
-def rdata_class_for(rdtype: int) -> Type[Rdata]:
-    return _RDATA_CLASSES.get(rdtype, GenericRdata)
-
-
 def rdata_from_wire(rdtype: int, reader: WireReader, rdlength: int) -> Rdata:
     cls = _RDATA_CLASSES.get(rdtype)
     if cls is None:

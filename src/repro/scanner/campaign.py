@@ -590,7 +590,11 @@ def load_or_run_campaign(
     hitting. Unlike the old surface, a misspelled schedule kwarg now
     raises ``TypeError`` instead of being silently cache-keyed.
     """
-    from ..study import ExecutionPlan, Study, StudySpec
+    # Deliberate upward import: this deprecated shim *wraps* the Study
+    # facade that replaced it (PR 5), so it must reach one layer up. The
+    # import is function-local (no import-time cycle) and dies with the
+    # shim; new scanner code must not import repro.study.
+    from ..study import ExecutionPlan, Study, StudySpec  # codelint: disable=LAYER01
 
     warnings.warn(
         "load_or_run_campaign is deprecated; build a repro.study.Study "

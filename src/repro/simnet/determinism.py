@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import List, Sequence, Tuple, TypeVar
+from typing import Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -47,16 +47,3 @@ def weighted_choice(seed: str, *parts: object, options: Sequence[Tuple[T, float]
         if roll < accumulated:
             return value
     return options[-1][0]
-
-
-def sample_indices(seed: str, salt: str, population: int, count: int) -> List[int]:
-    """*count* distinct indices from range(population), deterministic."""
-    if count >= population:
-        return list(range(population))
-    picked = set()
-    counter = 0
-    while len(picked) < count:
-        idx = integer(seed, salt, counter, bound=population)
-        picked.add(idx)
-        counter += 1
-    return sorted(picked)

@@ -53,8 +53,3 @@ def origin_v4(seed: str, domain: str, generation: int = 0) -> str:
 def origin_v6(seed: str, domain: str, generation: int = 0) -> str:
     a, b = _octets(seed, "origin6", domain, generation)
     return f"2001:db8:{a:x}::{b:x}"
-
-
-def provider_ns_ip(seed: str, provider_key: str, prefix: str, host_index: int) -> str:
-    a = integer(seed, "ns-ip", provider_key, host_index, bound=200) + 10
-    return f"{prefix}.{a}"

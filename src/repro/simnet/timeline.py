@@ -8,7 +8,7 @@ seconds used by the resolver clock and RRSIG validity windows.
 from __future__ import annotations
 
 import datetime
-from typing import Iterator, List
+from typing import List
 
 # Measurement window (paper §4.1, Table 1).
 STUDY_START = datetime.date(2023, 5, 8)
@@ -65,13 +65,6 @@ def study_days(step: int = 1, start: datetime.date = None, end: datetime.date = 
         days.append(current)
         current += datetime.timedelta(days=step)
     return days
-
-
-def iter_hours(start: datetime.date, end: datetime.date) -> Iterator[int]:
-    """Absolute hour indices (since study start) covering [start, end]."""
-    first = day_index(start) * 24
-    last = (day_index(end) + 1) * 24
-    return iter(range(first, last))
 
 
 def phase_of(date: datetime.date) -> int:

@@ -1,0 +1,11 @@
+"""BAD: the second public helper below is referenced nowhere in the
+tree — DEAD01.  (It is deliberately not named in this docstring: any
+identifier-shaped mention, even in a string, counts as a reference.)"""
+
+
+def used_entry():
+    return 1
+
+
+def orphan_report():
+    return 2

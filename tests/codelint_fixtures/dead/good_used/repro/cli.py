@@ -1,0 +1,9 @@
+"""GOOD twin entry module: every public helper is reached."""
+
+from .extra import helpers
+
+__all__ = ["main"]
+
+
+def main():
+    return helpers.used_entry() + helpers.orphan_report()

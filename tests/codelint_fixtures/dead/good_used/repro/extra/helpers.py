@@ -1,0 +1,9 @@
+"""GOOD twin: both public helpers are referenced by the entry module."""
+
+
+def used_entry():
+    return 1
+
+
+def orphan_report():
+    return 2

@@ -1,0 +1,12 @@
+"""Non-restricted helper module: DET01 ignores it, but its wall-clock
+read taints every restricted caller that reaches it."""
+
+import time
+
+
+def _stamp():
+    return _now_ms()
+
+
+def _now_ms():
+    return time.time() * 1000.0

@@ -1,0 +1,9 @@
+"""BAD: a restricted (simnet) helper whose callee chain reaches the
+wall clock two calls deep in a non-restricted module — invisible to the
+file-local DET01, caught by the project-scope DET02."""
+
+from ..reporting.utilmod import _stamp
+
+
+def _shape_timing(values):
+    return [_stamp() + value for value in values]

@@ -1,0 +1,10 @@
+"""Non-restricted helper module, deterministic: values derive from the
+arguments, never from ambient clock or entropy."""
+
+
+def _stamp(counter):
+    return _scale_ms(counter)
+
+
+def _scale_ms(counter):
+    return counter * 1000.0

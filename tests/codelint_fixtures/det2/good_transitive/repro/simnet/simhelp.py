@@ -1,0 +1,8 @@
+"""GOOD twin: the same call shape, but the helper chain derives its
+value from the caller-supplied counter instead of the wall clock."""
+
+from ..reporting.utilmod import _stamp
+
+
+def _shape_timing(counter, values):
+    return [_stamp(counter) + value for value in values]

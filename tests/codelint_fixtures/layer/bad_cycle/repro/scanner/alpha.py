@@ -1,0 +1,8 @@
+"""BAD: half of a top-level import cycle inside one subsystem —
+LAYER01 reports the cycle once per edge."""
+
+from . import beta
+
+
+def _ping(value):
+    return beta._pong(value)

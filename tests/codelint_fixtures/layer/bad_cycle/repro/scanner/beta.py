@@ -1,0 +1,7 @@
+"""The other half of the cycle."""
+
+from . import alpha
+
+
+def _pong(value):
+    return alpha._ping(value) if value else value

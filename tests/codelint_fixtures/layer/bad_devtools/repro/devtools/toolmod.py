@@ -1,0 +1,8 @@
+"""BAD: a devtools module importing from the product tree — the linter
+must never depend on the code it lints."""
+
+from repro.simnet.world import World
+
+
+def _peek():
+    return World

@@ -1,0 +1,8 @@
+"""BAD: the wire-format layer (bottom of the stack) importing the
+campaign driver layer above it — LAYER01 layering violation."""
+
+from ..scanner import runner
+
+
+def _encode(value):
+    return runner._frame(value)

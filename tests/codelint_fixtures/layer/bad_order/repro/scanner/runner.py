@@ -1,0 +1,5 @@
+"""Upper-layer module the bad fixture wrongly reaches down from."""
+
+
+def _frame(value):
+    return [value]

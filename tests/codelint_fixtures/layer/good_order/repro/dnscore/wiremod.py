@@ -1,0 +1,5 @@
+"""GOOD twin: the bottom layer exports; it imports nothing upward."""
+
+
+def _encode(value):
+    return bytes([value % 256])

@@ -1,0 +1,8 @@
+"""GOOD twin: the upper layer importing downward is the allowed
+direction."""
+
+from ..dnscore import wiremod
+
+
+def _run(value):
+    return wiremod._encode(value)

@@ -1,0 +1,40 @@
+"""BAD: both RACE01 branches.
+
+``_MemoCache`` owns a threading.Lock but writes its shared entries and
+counter outside any ``with self._lock:`` — the anti-pattern of
+``dnssec/signing.SignatureMemo``.  ``_record`` writes a module-level
+dict and is reachable from a ``ThreadPoolExecutor.submit`` site with no
+lock anywhere.
+"""
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = {}
+
+
+class _MemoCache:
+    def __init__(self, limit=16):
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self.hits = 0
+        self._limit = limit
+
+    def put(self, key, value):
+        self._entries[key] = value
+        self.hits += 1
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+
+def _record(key, value):
+    _RESULTS[key] = value
+
+
+def _run_all(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for key, value in items:
+            pool.submit(_record, key, value)

@@ -1,0 +1,39 @@
+"""GOOD twin: the SignatureMemo pattern — every shared write holds the
+lock, whether the state lives on the instance or at module level."""
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = {}
+_RESULTS_LOCK = threading.Lock()
+
+
+class _MemoCache:
+    def __init__(self, limit=16):
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self.hits = 0
+        self._limit = limit
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self.hits += 1
+            while len(self._entries) > self._limit:
+                self._entries.popitem(last=False)
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+
+def _record(key, value):
+    with _RESULTS_LOCK:
+        _RESULTS[key] = value
+
+
+def _run_all(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        for key, value in items:
+            pool.submit(_record, key, value)
